@@ -1,0 +1,32 @@
+"""Benchmark harness: every bench regenerates one paper table/figure.
+
+Each benchmark runs its experiment through pytest-benchmark (one round --
+these are reproduction harnesses, not microbenchmarks), prints the
+regenerated table for the log, and archives it under
+``benchmarks/results/`` for EXPERIMENTS.md.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_result():
+    """Persist a rendered experiment table and echo it to stdout."""
+    def _record(result):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = result.render()
+        name = result.experiment_id.lower().replace(". ", "").replace(
+            " ", "_")
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print("\n" + text)
+        return result
+    return _record
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,37 @@
+"""Ablation: all-bank activation (Sec. 7.2.2) on a wide-output workload.
+
+One broadcast command drives the same μProgram in every bank, so outputs
+wider than one subarray row (the DNA filter's millions of bins) execute
+their column tiles in lockstep -- trading power for throughput, as the
+paper's all-bank discussion describes.
+"""
+
+from repro.apps.workloads import layer_inventory
+from repro.perf import C2MConfig, C2MModel
+
+from conftest import run_once
+
+
+def _sweep():
+    dna = layer_inventory("DNA filt")[0]
+    rows = []
+    for all_bank in (False, True):
+        cost = C2MModel(C2MConfig(banks=16,
+                                  all_bank=all_bank)).cost(dna.shape)
+        rows.append({"mode": "all-bank" if all_bank else "per-bank",
+                     "latency_ms": cost.latency_ms,
+                     "power_w": cost.power_w,
+                     "gops": cost.gops})
+    return rows
+
+
+def test_ablation_allbank(benchmark):
+    rows = run_once(benchmark, _sweep)
+    per_bank, all_bank = rows
+    print()
+    for r in rows:
+        print(f"  {r['mode']:9s}: {r['latency_ms']:12.1f} ms, "
+              f"{r['power_w']:6.2f} W, {r['gops']:8.1f} GOPS")
+    # 69 column tiles: broadcast wins on time, loses on power.
+    assert all_bank["latency_ms"] < per_bank["latency_ms"]
+    assert all_bank["power_w"] > per_bank["power_w"]

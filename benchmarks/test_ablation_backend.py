@@ -1,0 +1,33 @@
+"""Ablation: CIM technology backend (Sec. 4.6).
+
+The counting mechanism ports to any functionally complete bulk-bitwise
+substrate; op costs differ: Pinatubo-style AND/OR/NOT NVMs need 3n+4
+ops per step, Ambit 7n+7, NOR-only MAGIC ~6n+5.
+"""
+
+import numpy as np
+
+from repro.core.iarm import IARMScheduler
+from repro.core.opcount import (AMBIT, MAGIC, PINATUBO,
+                                digits_for_capacity, mean_ops_per_value)
+
+from conftest import run_once
+
+
+def _sweep():
+    rng = np.random.default_rng(12)
+    sample = rng.integers(0, 256, 2000)
+    digits = digits_for_capacity(2, 2 ** 64)
+    return {backend: mean_ops_per_value(IARMScheduler, sample, 2,
+                                        digits, backend=backend)
+            for backend in (AMBIT, PINATUBO, MAGIC)}
+
+
+def test_ablation_backend(benchmark):
+    ops = run_once(benchmark, _sweep)
+    print()
+    for backend, per_input in ops.items():
+        print(f"  {backend:9s}: {per_input:6.1f} ops/input")
+    # Pinatubo's 3-ops-per-bit primitive is the cheapest; MAGIC's
+    # NOR-only expansion lands between Pinatubo and Ambit.
+    assert ops[PINATUBO] < ops[MAGIC] < ops[AMBIT]

@@ -1,0 +1,46 @@
+"""Ablation: FR-check count (Tab. 1's knob) -- overhead vs residual error.
+
+More FR repetitions buy error-rate decades linearly in op count; this
+bench prints the latency/error frontier at fault rate 1e-4 so the r = 2
+default's position is visible.
+"""
+
+from repro.apps.workloads import LLAMA_SHAPES
+from repro.ecc import protected_error_rate
+from repro.perf import C2MConfig, C2MModel
+
+from conftest import run_once
+
+FAULT_RATE = 1e-4
+
+
+def _sweep():
+    shape = LLAMA_SHAPES["V0"]
+    rows = []
+    for r in (0, 2, 4, 6):
+        cfg = C2MConfig(banks=16, fr_checks=r, fault_rate=FAULT_RATE)
+        cost = C2MModel(cfg).cost(shape)
+        rows.append({
+            "fr_checks": r,
+            "latency_ms": cost.latency_ms,
+            "residual_error": (None if r == 0
+                               else protected_error_rate(FAULT_RATE, r)),
+        })
+    return rows
+
+
+def test_ablation_protection(benchmark):
+    rows = run_once(benchmark, _sweep)
+    base = rows[0]["latency_ms"]
+    print()
+    for r in rows:
+        err = ("raw faults" if r["residual_error"] is None
+               else f"err={r['residual_error']:.1e}")
+        print(f"  r={r['fr_checks']}: {r['latency_ms']:8.2f} ms "
+              f"({r['latency_ms'] / base:4.2f}x)  {err}")
+    lat = [r["latency_ms"] for r in rows]
+    assert lat == sorted(lat)                  # monotone cost...
+    errs = [r["residual_error"] for r in rows[1:]]
+    assert errs == sorted(errs, reverse=True)  # ...for monotone safety
+    # The r=2 default costs ~2.4x and already reaches 1.5e-12.
+    assert rows[1]["latency_ms"] / base < 2.6

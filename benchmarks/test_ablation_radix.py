@@ -1,0 +1,44 @@
+"""Ablation: counter radix (the paper's radix-4 design choice).
+
+Sweeps the Johnson digit width on the V0 GEMV and reports latency and
+storage. Radix 4 pairs binary-equivalent storage density (Fig. 19) with
+a near-minimal op count (Fig. 8b) -- this bench shows both sides of
+that trade at the kernel level.
+"""
+
+from repro.apps.workloads import LLAMA_SHAPES
+from repro.core.opcount import digits_for_capacity, jc_bits_required
+from repro.perf import C2MConfig, C2MModel
+
+from conftest import run_once
+
+
+def _sweep():
+    shape = LLAMA_SHAPES["V0"]
+    rows = []
+    for n_bits in (1, 2, 3, 4, 5, 8):
+        cost = C2MModel(C2MConfig(n_bits=n_bits, banks=16)).cost(shape)
+        rows.append({
+            "radix": 2 * n_bits,
+            "latency_ms": cost.latency_ms,
+            "aaps": cost.aaps,
+            "storage_bits_per_counter": jc_bits_required(
+                2 * n_bits, 2 ** 64),
+            "digits": digits_for_capacity(n_bits, 2 ** 64),
+        })
+    return rows
+
+
+def test_ablation_radix(benchmark):
+    rows = run_once(benchmark, _sweep)
+    print()
+    for r in rows:
+        print(f"  radix {r['radix']:2d}: {r['latency_ms']:8.2f} ms, "
+              f"{r['storage_bits_per_counter']:3d} bits/counter")
+    by_radix = {r["radix"]: r for r in rows}
+    # Radix 4: within 10% of the latency optimum at binary-equal storage.
+    best = min(r["latency_ms"] for r in rows)
+    assert by_radix[4]["latency_ms"] < 1.15 * best
+    assert by_radix[4]["storage_bits_per_counter"] == 64
+    # Very high radices pay in both storage and ops.
+    assert by_radix[16]["latency_ms"] > by_radix[4]["latency_ms"]

@@ -1,0 +1,31 @@
+"""Ablation: carry-rippling policy (unit vs naive k-ary vs IARM).
+
+The paper's two optimizations isolated at the kernel level: k-ary
+increments (Sec. 4.5.1) and IARM (Sec. 4.5.2), each measured as V0 GEMV
+latency against the unit-counting strawman.
+"""
+
+from repro.apps.workloads import LLAMA_SHAPES
+from repro.perf import C2MConfig, C2MModel
+
+from conftest import run_once
+
+
+def _sweep():
+    shape = LLAMA_SHAPES["V0"]
+    out = {}
+    for sched in ("unit", "kary", "iarm"):
+        cost = C2MModel(C2MConfig(scheduler=sched, banks=16)).cost(shape)
+        out[sched] = cost.latency_ms
+    return out
+
+
+def test_ablation_scheduler(benchmark):
+    latency = run_once(benchmark, _sweep)
+    print()
+    for sched, ms in latency.items():
+        print(f"  {sched:5s}: {ms:8.2f} ms "
+              f"({latency['unit'] / ms:4.1f}x vs unit)")
+    assert latency["iarm"] < latency["kary"] < latency["unit"]
+    # IARM's headline: the rippling cost all but disappears.
+    assert latency["unit"] / latency["iarm"] > 3.0

@@ -1,0 +1,12 @@
+"""Bench: regenerate Fig. 3 input distributions (see DESIGN.md §3 for the experiment index)."""
+
+from repro.experiments import run_experiment
+
+from conftest import run_once
+
+
+def test_fig03(benchmark, record_result):
+    result = run_once(benchmark,
+                      lambda: run_experiment("fig03", quick=True))
+    record_result(result)
+    assert result.rows, "experiment produced no data"

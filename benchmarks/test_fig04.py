@@ -1,0 +1,12 @@
+"""Bench: regenerate Fig. 4 fault-rate motivation (see DESIGN.md §3 for the experiment index)."""
+
+from repro.experiments import run_experiment
+
+from conftest import run_once
+
+
+def test_fig04(benchmark, record_result):
+    result = run_once(benchmark,
+                      lambda: run_experiment("fig04", quick=True))
+    record_result(result)
+    assert result.rows, "experiment produced no data"

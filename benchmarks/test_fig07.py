@@ -1,0 +1,12 @@
+"""Bench: regenerate Fig. 7 transition patterns (see DESIGN.md §3 for the experiment index)."""
+
+from repro.experiments import run_experiment
+
+from conftest import run_once
+
+
+def test_fig07(benchmark, record_result):
+    result = run_once(benchmark,
+                      lambda: run_experiment("fig07", quick=True))
+    record_result(result)
+    assert result.rows, "experiment produced no data"

@@ -1,0 +1,19 @@
+"""Bench: regenerate Fig. 8 (op-count sweep across radices)."""
+
+from repro.experiments import run_experiment
+
+from conftest import run_once
+
+
+def test_fig08(benchmark, record_result):
+    result = run_once(benchmark,
+                      lambda: run_experiment("fig08", quick=True))
+    record_result(result)
+    jc_rows = [r for r in result.rows if r["radix"] != "RCA"]
+    rca = next(r for r in result.rows if r["radix"] == "RCA")
+    # IARM's curve is capacity-invariant and beats everything at its
+    # radix 4-8 sweet spot (the paper's Fig. 8b conclusion).
+    best_iarm = min(r["iarm"] for r in jc_rows)
+    assert best_iarm < rca["kary_i16"]
+    for r in jc_rows:
+        assert r["iarm"] <= r["kary_i16"] + 1e-9

@@ -1,0 +1,12 @@
+"""Bench: regenerate Fig. 9 IARM walkthrough (see DESIGN.md §3 for the experiment index)."""
+
+from repro.experiments import run_experiment
+
+from conftest import run_once
+
+
+def test_fig09(benchmark, record_result):
+    result = run_once(benchmark,
+                      lambda: run_experiment("fig09", quick=True))
+    record_result(result)
+    assert result.rows, "experiment produced no data"

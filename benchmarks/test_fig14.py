@@ -1,0 +1,22 @@
+"""Bench: regenerate Fig. 14 (GPU-normalized throughput/Watt/mm²)."""
+
+from repro.experiments import run_experiment
+from repro.util import geometric_mean
+
+from conftest import run_once
+
+
+def test_fig14(benchmark, record_result):
+    result = run_once(benchmark,
+                      lambda: run_experiment("fig14", quick=True))
+    record_result(result)
+    assert len(result.rows) == 10                   # V0-V4, M0-M4
+    # Paper headline band: C2M leads SIMDRAM on every efficiency metric.
+    ratios = [row["C2M/GPU_gops_per_W"] / row["SIMDRAM/GPU_gops_per_W"]
+              for row in result.rows]
+    geo = geometric_mean(ratios)
+    assert 2.0 < geo < 12.0, f"GOPS/W advantage {geo:.1f}x out of band"
+    # GPU retains the raw-throughput crown on dense GEMM workloads.
+    for row in result.rows:
+        if row["workload"].startswith("M"):
+            assert row["C2M/GPU_gops"] < 1.0

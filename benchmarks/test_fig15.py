@@ -1,0 +1,18 @@
+"""Bench: regenerate Fig. 15 (bank-level parallelism scaling)."""
+
+from repro.experiments import run_experiment
+
+from conftest import run_once
+
+
+def test_fig15(benchmark, record_result):
+    result = run_once(benchmark,
+                      lambda: run_experiment("fig15", quick=True))
+    record_result(result)
+    for row in result.rows:
+        # 1 -> 4 banks overlaps AAPs ~4x; 4 -> 16 hits the FAW wall.
+        assert row["C2M:1_ms"] / row["C2M:4_ms"] > 3.5
+        assert 1.2 < row["C2M:4_ms"] / row["C2M:16_ms"] < 4.5
+        # C2M never loses to SIMDRAM at matched bank counts.
+        for b in (1, 4, 16):
+            assert row[f"C2M:{b}_ms"] < row[f"SIMDRAM:{b}_ms"]

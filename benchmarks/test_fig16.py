@@ -1,0 +1,20 @@
+"""Bench: regenerate Fig. 16 (sparsity sweep and GPU crossovers)."""
+
+from repro.experiments import run_experiment
+
+from conftest import run_once
+
+
+def test_fig16(benchmark, record_result):
+    result = run_once(benchmark,
+                      lambda: run_experiment("fig16", quick=True))
+    record_result(result)
+    v0 = [r for r in result.rows if r["workload"] == "V0"]
+    m0 = [r for r in result.rows if r["workload"] == "M0"]
+    # Zero-skipping: C2M latency falls monotonically with sparsity.
+    lat = [r["C2M_ms"] for r in v0]
+    assert lat == sorted(lat, reverse=True)
+    # GEMV crossover happens inside the sweep; GEMM only at the extreme.
+    assert any(r["C2M_ms"] < r["GPU_ms"] for r in v0)
+    dense_m0 = m0[0]
+    assert dense_m0["C2M_ms"] > dense_m0["GPU_ms"]

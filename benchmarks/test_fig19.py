@@ -1,0 +1,12 @@
+"""Bench: regenerate Fig. 19 counter capacity (see DESIGN.md §3 for the experiment index)."""
+
+from repro.experiments import run_experiment
+
+from conftest import run_once
+
+
+def test_fig19(benchmark, record_result):
+    result = run_once(benchmark,
+                      lambda: run_experiment("fig19", quick=True))
+    record_result(result)
+    assert result.rows, "experiment produced no data"

@@ -1,0 +1,88 @@
+"""Microbenchmarks of the library's core primitives.
+
+Unlike the figure benches (which regenerate paper content once), these
+measure the actual simulation throughput of the building blocks -- useful
+for tracking regressions in the hot paths.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CounterArray, IARMScheduler
+from repro.core.johnson import encode_lanes, step
+from repro.dram import AmbitSubarray, CommandScheduler
+from repro.engine import CountingEngine
+from repro.isa.templates import kary_increment_program
+
+
+@pytest.fixture
+def lanes():
+    rng = np.random.default_rng(0)
+    return encode_lanes(rng.integers(0, 10, 4096), 5)
+
+
+def test_bench_kary_step_4096_lanes(benchmark, lanes):
+    """Vectorized golden-model k-ary step over 4096 lanes."""
+    mask = np.ones(4096, dtype=np.uint8)
+    out = benchmark(step, lanes, 7, mask)
+    assert out.shape == lanes.shape
+
+
+def test_bench_gate_level_increment(benchmark):
+    """One full μProgram increment on a 1024-lane Ambit subarray."""
+    sa = AmbitSubarray(16, 1024)
+    prog = kary_increment_program([0, 1, 2, 3, 4], 5, 3,
+                                  [7, 8, 9, 10, 11], 6)
+
+    def run():
+        prog.run(sa)
+        return sa.aap_count
+
+    assert benchmark(run) > 0
+
+
+def test_bench_iarm_scheduling(benchmark):
+    """Scheduling 1000 uniform 8-bit inputs (host-side IARM)."""
+    rng = np.random.default_rng(1)
+    values = rng.integers(0, 256, 1000)
+
+    def run():
+        sched = IARMScheduler(2, 32)
+        return sum(len(sched.schedule_value(int(v))) for v in values)
+
+    assert benchmark(run) > 1000
+
+
+def test_bench_counter_array_accumulate(benchmark):
+    """Golden-model masked accumulation, 256 lanes x 100 values."""
+    rng = np.random.default_rng(2)
+    values = rng.integers(0, 200, 100)
+    masks = rng.integers(0, 2, (100, 256)).astype(bool)
+
+    def run():
+        ca = CounterArray(2, 10, 256)
+        for v, m in zip(values, masks):
+            ca.add_value(int(v), mask=m)
+        return ca.totals()[0]
+
+    benchmark(run)
+
+
+def test_bench_engine_accumulate(benchmark):
+    """Gate-level engine: one masked accumulate on 512 lanes."""
+    eng = CountingEngine(n_bits=2, n_digits=6, n_lanes=512)
+    eng.load_mask(0, np.ones(512, dtype=np.uint8))
+
+    def run():
+        eng.reset_counters()
+        eng.accumulate(45)
+        return eng.measured_ops
+
+    assert benchmark(run) > 0
+
+
+def test_bench_command_scheduler(benchmark):
+    """Event-driven replay of 10k AAPs over 16 banks."""
+    sched = CommandScheduler()
+    makespan = benchmark(sched.issue_aaps, 10_000, 16)
+    assert makespan > 0

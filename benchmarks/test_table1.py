@@ -1,0 +1,19 @@
+"""Bench: regenerate Table 1 (protection error/detect rates, op counts)."""
+
+from repro.experiments import run_experiment
+
+from conftest import run_once
+
+
+def test_table1(benchmark, record_result):
+    result = run_once(benchmark,
+                      lambda: run_experiment("table1", quick=True))
+    record_result(result)
+    assert len(result.rows) == 9                    # 3 FR rows x 3 rates
+    for row in result.rows:
+        # Within 10% of the paper on live cells; the floored corner is
+        # bounded by the 1e-20 read-fault assumption.
+        ratio = row["error_rate"] / row["paper_error"]
+        assert 0.9 < ratio < 1.6
+        ratio = row["detect_rate"] / row["paper_detect"]
+        assert 0.9 < ratio < 1.1

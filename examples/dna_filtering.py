@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""DNA pre-alignment filtering on in-memory counters (paper Secs. 3, 7).
+
+Builds a synthetic genome, bins it GRIM-Filter style with k-mer presence
+bitvectors, and filters noisy reads by accumulating their k-mer
+repetition counts against every bin *in parallel* -- one Johnson counter
+per bin.  Then sweeps the CIM fault rate to show why the paper treats
+reliability as a first-class metric: the RCA baseline's F1 collapses two
+decades before the Johnson counters', and the ECC scheme holds the line
+to 1e-2.
+
+Run:  python examples/dna_filtering.py
+"""
+
+from repro.apps.dna import DNAFilterConfig, DNAFilterWorkload
+
+
+def main():
+    config = DNAFilterConfig(genome_len=60_000, bin_len=600, kmer=7,
+                             read_len=120, n_reads=40)
+    workload = DNAFilterWorkload(config)
+    print(f"genome: {config.genome_len} bp, {workload.n_bins} bins, "
+          f"{workload.n_tokens} k-mer tokens, {config.n_reads} reads "
+          f"({config.mutation_rate:.0%} mutation rate)")
+
+    clean = workload.evaluate("jc", 0.0, "none")
+    print(f"\nfault-free filter: F1={clean['f1']:.3f} "
+          f"precision={clean['precision']:.3f} "
+          f"recall={clean['recall']:.3f}")
+
+    print(f"\n{'fault rate':>10} | {'JC':>6} {'JC+ECC':>7} {'JC+TMR':>7}"
+          f" | {'RCA':>6} {'RCA+ECC':>8}")
+    print("-" * 56)
+    for f in (1e-5, 1e-4, 1e-3, 1e-2, 1e-1):
+        jc = workload.evaluate("jc", f, "none")["f1"]
+        ecc = workload.evaluate("jc", f, "ecc")["f1"]
+        tmr = workload.evaluate("jc", f, "tmr")["f1"]
+        rca = workload.evaluate("rca", f, "none")["f1"]
+        rcae = workload.evaluate("rca", f, "ecc")["f1"]
+        print(f"{f:>10.0e} | {jc:>6.3f} {ecc:>7.3f} {tmr:>7.3f}"
+              f" | {rca:>6.3f} {rcae:>8.3f}")
+
+    print("\nReading the table (paper Figs. 4b / 17a):")
+    print(" * the JC filter tolerates ~10x higher fault rates than RCA;")
+    print(" * ECC protection keeps F1 at the fault-free level to ~1e-2;")
+    print(" * TMR costs more ops (3x + vote) yet gives weaker floors.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Anatomy of the fault-tolerance scheme (paper Sec. 6).
+
+Shows the protection machinery piece by piece:
+
+1. XOR homomorphism of the (72, 64) DIMM Hamming code;
+2. the in-memory XOR synthesis (IR1/IR2/FR) catching an injected fault;
+3. Table 1 regenerated: error/detect rates vs FR-check count;
+4. TMR vs ECC on the same gate-level counter bank.
+
+Run:  python examples/fault_tolerant_counting.py
+"""
+
+import numpy as np
+
+from repro import CountingEngine, FaultModel
+from repro.ecc import (HAMMING_72_64, CIMProtection, protected_detect_rate,
+                       protected_error_rate, table1, tmr_error_rate)
+
+
+def homomorphism_demo(rng):
+    print("=" * 66)
+    print("1. ECC is homomorphic over XOR (the scheme's foundation)")
+    print("=" * 66)
+    a = rng.integers(0, 2, 64).astype(np.uint8)
+    b = rng.integers(0, 2, 64).astype(np.uint8)
+    h = HAMMING_72_64
+    lhs = h.parity_bits(a ^ b)
+    rhs = h.parity_bits(a) ^ h.parity_bits(b)
+    print(f"parity(a XOR b) == parity(a) XOR parity(b)  ->  "
+          f"{(lhs == rhs).all()}")
+    print("so the ECC chip can *predict* the check bits of an FR row "
+          "without reading it.\n")
+
+
+def detection_demo(rng):
+    print("=" * 66)
+    print("2. A fault in a masking AND trips the FR syndrome check")
+    print("=" * 66)
+    prot = CIMProtection()
+    m = rng.integers(0, 2, 64).astype(np.uint8)
+    src = rng.integers(0, 2, 64).astype(np.uint8)
+    expected = prot.predict_xor_checks(m) ^ prot.checks_of(src)
+    fr_clean = m ^ src
+    fr_faulty = fr_clean.copy()
+    fr_faulty[13] ^= 1                   # one CIM upset
+    print(f"clean FR  -> detected words: "
+          f"{prot.verify_xor(fr_clean, expected).sum()}")
+    print(f"faulty FR -> detected words: "
+          f"{prot.verify_xor(fr_faulty, expected).sum()}  (recompute!)\n")
+
+
+def table1_demo():
+    print("=" * 66)
+    print("3. Table 1: repeating the FR check buys error-rate decades")
+    print("=" * 66)
+    print(f"{'FR checks':>9} {'ops (n=5)':>10} | "
+          f"{'err@1e-2':>10} {'det@1e-2':>10}")
+    for row in table1():
+        print(f"{row.fr_checks:>9} {row.ambit_ops_n5:>10} | "
+              f"{row.error_rates[1e-2]:>10.1e} "
+              f"{row.detect_rates[1e-2]:>10.2e}")
+    f = 1e-2
+    print(f"\nversus TMR at the same fault rate: "
+          f"error {tmr_error_rate(f):.1e} for 3x ops + vote "
+          f"(ECC r=2: {protected_error_rate(f, 2):.1e})\n")
+
+
+def end_to_end_demo(rng):
+    print("=" * 66)
+    print("4. End to end on the gate-level engine @ fault rate 1e-2")
+    print("=" * 66)
+    stream = rng.integers(1, 50, 12)
+    expected = int(stream.sum())
+    for fr_checks, label in ((0, "bare counters "),
+                             (2, "ECC-protected")):
+        fm = FaultModel(p_cim=1e-2, seed=31)
+        eng = CountingEngine(n_bits=2, n_digits=5, n_lanes=32,
+                             fault_model=fm, fr_checks=fr_checks)
+        eng.load_mask(0, np.ones(32, dtype=np.uint8))
+        for v in stream:
+            eng.accumulate(int(v))
+        got = eng.read_values(strict=False)
+        wrong = int((got != expected).sum())
+        extra = ""
+        if fr_checks:
+            st = eng.protection.stats
+            extra = (f" | detected {st.detections}, retry overhead "
+                     f"{st.retry_overhead:.0%}")
+        print(f"{label}: {wrong:2d}/32 lanes wrong{extra}")
+    print("\nDetected faults cost only recomputation (Sec. 7.3.2: "
+          "~19.6% at 1e-4);\nundetected ones need a coincidence of "
+          "~f^(r+1) -- see Table 1 above.")
+
+
+if __name__ == "__main__":
+    rng = np.random.default_rng(11)
+    homomorphism_demo(rng)
+    detection_demo(rng)
+    table1_demo()
+    end_to_end_demo(rng)

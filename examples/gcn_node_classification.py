@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""GCN node classification on in-memory counters (paper Sec. 7.1).
+
+A two-layer graph convolutional network where *both* the feature
+transforms (integer x ternary) and the neighborhood aggregations
+(adjacency rows as binary masks) execute on the Count2Multiply kernels
+-- aggregation over a graph is masked accumulation in its purest form.
+
+Also projects the full PubMed-scale workload through the performance
+model, showing why zero-skipping makes GCNs C2M's best case: the
+adjacency operand is 99.98 % sparse, and SIMDRAM must grind through all
+of it.
+
+Run:  python examples/gcn_node_classification.py
+"""
+
+import numpy as np
+
+from repro.apps.gcn import (GCNConfig, SyntheticCitationGraph,
+                            gcn_forward_cim, gcn_forward_reference)
+from repro.apps.workloads import layer_inventory
+from repro.perf import C2MConfig, C2MModel, simdram_cost
+
+
+def functional_part():
+    print("=" * 66)
+    print("Functional: 2-layer GCN forward pass, gate-level CIM")
+    print("=" * 66)
+    graph = SyntheticCitationGraph(GCNConfig(n_nodes=60, n_edges=220,
+                                             n_feats=12, n_hidden=6))
+    ref = gcn_forward_reference(graph)
+    cim = gcn_forward_cim(graph)
+    agree = (ref.argmax(1) == cim.argmax(1)).mean()
+    acc = (cim.argmax(1) == graph.labels).mean()
+    print(f"nodes={graph.config.n_nodes}, "
+          f"edges~{graph.adjacency.sum() // 2}")
+    print(f"CIM logits == reference logits : {(ref == cim).all()}")
+    print(f"argmax agreement               : {agree:.0%}")
+    print(f"node classification accuracy   : {acc:.0%}\n")
+
+
+def performance_part():
+    print("=" * 66)
+    print("Projection: PubMed-scale GCN (19717 nodes, 88648 edges)")
+    print("=" * 66)
+    c2m = C2MModel(C2MConfig(banks=16))
+    total_c2m = total_sim = 0.0
+    print(f"{'layer':>6} {'sparsity':>9} {'C2M ms':>12} {'SIMDRAM ms':>12}")
+    for layer in layer_inventory("GCN"):
+        c = c2m.cost(layer.shape, sparsity=layer.sparsity)
+        s = simdram_cost(layer.shape, banks=16)
+        total_c2m += c.time_s
+        total_sim += s.time_s
+        print(f"{layer.shape.name:>6} {layer.sparsity:>9.4f} "
+              f"{c.latency_ms:>12.2f} {s.latency_ms:>12.2f}")
+    print("-" * 44)
+    print(f"{'total':>6} {'':>9} {total_c2m * 1e3:>12.2f} "
+          f"{total_sim * 1e3:>12.2f}  "
+          f"({total_sim / total_c2m:.0f}x speedup)")
+    print("\nThe aggregation layers dominate SIMDRAM's time because its "
+          "command stream\ncannot skip the 99.98% zero entries of the "
+          "adjacency; C2M simply never\nissues increments for them "
+          "(Sec. 7.2.3).")
+
+
+if __name__ == "__main__":
+    functional_part()
+    performance_part()

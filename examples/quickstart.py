@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Quickstart: in-memory high-radix counting in five minutes.
+
+Walks through the core Count2Multiply ideas on the gate-level simulator:
+
+1. a vector of Johnson counters living in a DRAM subarray,
+2. masked broadcast accumulation (the MAC primitive),
+3. a ternary vector-matrix product,
+4. what CIM faults do -- and how the ECC protection scheme absorbs them.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import CountingEngine, FaultModel, ternary_gemv
+
+
+def counting_demo():
+    print("=" * 64)
+    print("1. Masked in-memory counting")
+    print("=" * 64)
+    # Radix-4 counters (2-bit Johnson digits), 6 digits -> capacity 4096,
+    # one counter per bitline; 8 lanes keeps the printout readable.
+    engine = CountingEngine(n_bits=2, n_digits=6, n_lanes=8)
+    mask = np.array([1, 0, 1, 0, 1, 0, 1, 0], dtype=np.uint8)
+    engine.load_mask(0, mask)
+
+    # The host unpacks 45 into radix-4 digits (231) and broadcasts one
+    # k-ary increment per non-zero digit -- no carry chains involved.
+    engine.accumulate(45)
+    engine.accumulate(7)
+    print(f"mask        : {mask}")
+    print(f"counters    : {engine.read_values()}")
+    print(f"AAP/AP ops  : {engine.measured_ops} "
+          f"(model: {engine.model_ops})")
+
+
+def gemv_demo():
+    print()
+    print("=" * 64)
+    print("2. Integer x ternary vector-matrix product")
+    print("=" * 64)
+    rng = np.random.default_rng(42)
+    x = rng.integers(-20, 21, 8)               # int8-style activations
+    z = rng.integers(-1, 2, (8, 12)).astype(np.int8)   # ternary weights
+    y = ternary_gemv(x, z)
+    print(f"x           : {x}")
+    print(f"y = x @ Z   : {y}")
+    print(f"numpy check : {(y == x @ z).all()}")
+
+
+def fault_demo():
+    print()
+    print("=" * 64)
+    print("3. CIM faults and the XOR-embedded ECC protection")
+    print("=" * 64)
+    stream = [9, 14, 3, 27, 5, 18, 2, 30]
+    expected = sum(stream)
+    for fr_checks, label in ((0, "unprotected"), (2, "protected (r=2)")):
+        fm = FaultModel(p_cim=8e-3, seed=7)
+        engine = CountingEngine(n_bits=2, n_digits=5, n_lanes=16,
+                                fault_model=fm, fr_checks=fr_checks)
+        engine.load_mask(0, np.ones(16, dtype=np.uint8))
+        for v in stream:
+            engine.accumulate(v)
+        got = engine.read_values(strict=False)
+        wrong = int((got != expected).sum())
+        line = (f"{label:18s}: {wrong:2d}/16 lanes wrong "
+                f"({fm.injected} faults injected")
+        if fr_checks:
+            st = engine.protection.stats
+            line += (f", {st.detections} detected, "
+                     f"retry overhead {st.retry_overhead:.0%}")
+        print(line + ")")
+    print("\nEvery masking AND is embedded in an in-memory XOR whose "
+          "check bits commodity\nECC can predict -- detected faults "
+          "simply recompute the block (paper Sec. 6).")
+
+
+if __name__ == "__main__":
+    counting_demo()
+    gemv_demo()
+    fault_demo()

@@ -1,0 +1,42 @@
+"""Count2Multiply: reliable in-memory high-radix counting.
+
+A full reproduction of the HPCA 2026 paper: Johnson-counter algebra and
+IARM scheduling (``repro.core``), a bit-level Ambit-style DRAM substrate
+with timing/energy models (``repro.dram``), executable μPrograms with MIG
+synthesis and NVM backends (``repro.isa``), Hamming/BCH ECC plus the
+XOR-embedding CIM protection scheme (``repro.ecc``), the gate-level
+counting engine (``repro.engine``), matrix kernels (``repro.kernels``),
+baselines (``repro.baselines``), performance models (``repro.perf``),
+application workloads (``repro.apps``) and the experiment registry that
+regenerates every table and figure (``repro.experiments``).
+
+Quick start::
+
+    import numpy as np
+    from repro import CountingEngine
+
+    engine = CountingEngine(n_bits=2, n_digits=6, n_lanes=8)
+    engine.load_mask(0, np.array([1, 0, 1, 0, 1, 0, 1, 0]))
+    engine.accumulate(45)           # +45 to every masked counter
+    print(engine.read_values())
+"""
+
+from repro.core import (CounterArray, IARMScheduler, NaiveKaryScheduler,
+                        UnitScheduler)
+from repro.dram import AmbitSubarray, FaultModel
+from repro.engine import CountingEngine
+from repro.kernels import (binary_gemm, binary_gemv, bitsliced_gemv,
+                           ternary_gemm, ternary_gemv)
+from repro.perf import C2MConfig, C2MModel, GEMMShape
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CounterArray", "IARMScheduler", "NaiveKaryScheduler", "UnitScheduler",
+    "AmbitSubarray", "FaultModel",
+    "CountingEngine",
+    "binary_gemm", "binary_gemv", "bitsliced_gemv", "ternary_gemm",
+    "ternary_gemv",
+    "C2MConfig", "C2MModel", "GEMMShape",
+    "__version__",
+]

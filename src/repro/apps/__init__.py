@@ -1,0 +1,28 @@
+"""Application workloads: DNA pre-alignment filtering, the BERT attention
+proxy, ternary-weight CNNs, GCNs, workload inventories, and the fast
+fault-injected accumulator models they share."""
+
+from repro.apps.bert import BertProxy, BertProxyConfig, embedding_histogram
+from repro.apps.dna import (DNAFilterConfig, DNAFilterWorkload, filtering_f1,
+                            token_repetition_histogram)
+from repro.apps.fastsim import (FastJCAccumulator, FastRCAAccumulator,
+                                effective_bit_fault_rate)
+from repro.apps.gcn import (GCNConfig, SyntheticCitationGraph,
+                            classification_agreement, gcn_forward_cim,
+                            gcn_forward_reference)
+from repro.apps.twn import (conv2d_ternary_cim, conv2d_ternary_reference,
+                            im2col, random_ternary_layer, ternarize_weights)
+from repro.apps.workloads import (LLAMA_SHAPES, WORKLOAD_NAMES, WorkloadLayer,
+                                  layer_inventory)
+
+__all__ = [
+    "BertProxy", "BertProxyConfig", "embedding_histogram",
+    "DNAFilterConfig", "DNAFilterWorkload", "filtering_f1",
+    "token_repetition_histogram",
+    "FastJCAccumulator", "FastRCAAccumulator", "effective_bit_fault_rate",
+    "GCNConfig", "SyntheticCitationGraph", "classification_agreement",
+    "gcn_forward_cim", "gcn_forward_reference",
+    "conv2d_ternary_cim", "conv2d_ternary_reference", "im2col",
+    "random_ternary_layer", "ternarize_weights",
+    "LLAMA_SHAPES", "WORKLOAD_NAMES", "WorkloadLayer", "layer_inventory",
+]

@@ -1,0 +1,186 @@
+"""BERT attention-block proxy for the fault-impact study (Fig. 17b).
+
+The paper measures BERT-base on GLUE/MNLI; we substitute a compact
+numpy attention classifier on a synthetic NLI-like 3-class task whose
+software accuracy lands in BERT's usable band (~78 %), then route every
+matmul through the fault-injected accumulator models.  The observable
+the experiment cares about -- a sharp accuracy collapse once faults
+perturb the deep stack of accumulations, and the scheme ordering
+SW ≈ JC+ECC > JC+TMR > JC > RCA+* -- is preserved (DESIGN.md Sec. 5).
+
+Weights are ternarized (TWN-style [3, 32]) and activations quantized to
+int8, so every layer is exactly the integer-ternary masked accumulation
+Count2Multiply executes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from repro.apps.fastsim import FastJCAccumulator, FastRCAAccumulator
+from repro.util import RngLike, as_rng
+
+__all__ = ["BertProxyConfig", "BertProxy", "embedding_histogram"]
+
+
+def _ternarize(w: np.ndarray) -> np.ndarray:
+    """TWN ternarization: threshold at 0.7 * mean(|w|) (Li et al. [3])."""
+    delta = 0.7 * np.abs(w).mean()
+    return np.sign(w) * (np.abs(w) > delta)
+
+
+def _quantize(x: np.ndarray, bits: int = 8) -> np.ndarray:
+    """Symmetric int quantization of activations."""
+    scale = np.abs(x).max() / (2 ** (bits - 1) - 1) or 1.0
+    return np.clip(np.round(x / scale), -(2 ** (bits - 1)),
+                   2 ** (bits - 1) - 1).astype(np.int64), scale
+
+
+@dataclass
+class BertProxyConfig:
+    """Tiny attention classifier sized for second-scale fault sweeps."""
+
+    seq_len: int = 10
+    d_model: int = 24
+    n_classes: int = 3
+    n_train: int = 400
+    n_test: int = 120
+    class_sep: float = 1.1
+    seed: RngLike = 17
+
+
+@dataclass
+class BertProxy:
+    """Synthetic NLI-ish task + one ternary attention block + head."""
+
+    config: BertProxyConfig = field(default_factory=BertProxyConfig)
+
+    def __post_init__(self):
+        cfg = self.config
+        rng = as_rng(cfg.seed)
+        d = cfg.d_model
+        # Class-conditional token patterns with shared noise.
+        self._prototypes = rng.normal(0, cfg.class_sep,
+                                      (cfg.n_classes, cfg.seq_len, d))
+        self._wq = _ternarize(rng.normal(0, 1, (d, d)))
+        self._wk = _ternarize(rng.normal(0, 1, (d, d)))
+        self._wv = _ternarize(rng.normal(0, 1, (d, d)))
+        x_train, y_train = self._sample(cfg.n_train, rng)
+        self.x_test, self.y_test = self._sample(cfg.n_test, rng)
+        # Train a softmax head on clean features (closed-form-ish SGD).
+        feats = np.stack([self._features(x) for x in x_train])
+        self._head = self._train_head(feats, y_train, rng)
+
+    # ------------------------------------------------------------------
+    def _sample(self, count, rng):
+        cfg = self.config
+        y = rng.integers(0, cfg.n_classes, count)
+        x = (self._prototypes[y]
+             + rng.normal(0, 1.0, (count, cfg.seq_len, cfg.d_model)))
+        return x, y
+
+    def _attention(self, x: np.ndarray, matmul) -> np.ndarray:
+        """One attention block; ``matmul(A_int, W_ternary)`` is injected."""
+        xq, sx = _quantize(x)
+        q = matmul(xq, self._wq) * sx
+        k = matmul(xq, self._wk) * sx
+        v = matmul(xq, self._wv) * sx
+        scores = q @ k.T / np.sqrt(self.config.d_model)
+        scores -= scores.max(axis=1, keepdims=True)
+        attn = np.exp(scores)
+        attn /= attn.sum(axis=1, keepdims=True)
+        return (attn @ v).mean(axis=0)          # mean-pooled features
+
+    def _features(self, x: np.ndarray) -> np.ndarray:
+        exact = lambda a, w: a @ w.astype(np.int64)
+        return self._attention(x, exact)
+
+    def _train_head(self, feats, labels, rng, epochs=200, lr=0.05):
+        cfg = self.config
+        w = rng.normal(0, 0.01, (feats.shape[1], cfg.n_classes))
+        onehot = np.eye(cfg.n_classes)[labels]
+        for _ in range(epochs):
+            logits = feats @ w
+            logits -= logits.max(axis=1, keepdims=True)
+            p = np.exp(logits)
+            p /= p.sum(axis=1, keepdims=True)
+            w -= lr * feats.T @ (p - onehot) / len(feats)
+        return w
+
+    # ------------------------------------------------------------------
+    def _make_acc(self, kind: str, n: int, fault_rate: float, scheme: str,
+                  rng):
+        if kind == "jc":
+            return FastJCAccumulator(n_bits=2, n_digits=7, n_lanes=n,
+                                     fault_rate=fault_rate, scheme=scheme,
+                                     seed=rng.integers(2 ** 31))
+        return FastRCAAccumulator(width=16, n_lanes=n,
+                                  fault_rate=fault_rate, scheme=scheme,
+                                  seed=rng.integers(2 ** 31))
+
+    def _faulty_matmul(self, kind: str, fault_rate: float, scheme: str,
+                       rng) -> callable:
+        """int x ternary matmul routed through faulty accumulators.
+
+        Signed partial sums use the two-bank (pos/neg) form: the input's
+        sign is folded into the mask choice, so both banks only count
+        upward (Sec. 5.1's host-side trick).
+        """
+        def matmul(a_int: np.ndarray, w_ternary: np.ndarray) -> np.ndarray:
+            m, k = a_int.shape
+            n = w_ternary.shape[1]
+            out = np.zeros((m, n), dtype=np.int64)
+            plus = (w_ternary > 0).astype(np.uint8)
+            minus = (w_ternary < 0).astype(np.uint8)
+            for row in range(m):
+                pos = self._make_acc(kind, n, fault_rate, scheme, rng)
+                neg = self._make_acc(kind, n, fault_rate, scheme, rng)
+                for j in range(k):
+                    v = int(a_int[row, j])
+                    if v == 0:
+                        continue
+                    up, down = (plus[j], minus[j]) if v > 0 else \
+                               (minus[j], plus[j])
+                    if up.any():
+                        pos.accumulate(abs(v), up)
+                    if down.any():
+                        neg.accumulate(abs(v), down)
+                out[row] = pos.read() - neg.read()
+            return out
+        return matmul
+
+    def accuracy(self, kind: str = None, fault_rate: float = 0.0,
+                 scheme: str = "none", seed: RngLike = 0,
+                 max_samples: int = None) -> float:
+        """Test accuracy with matmuls on the chosen substrate.
+
+        ``kind=None`` runs the clean software baseline (the Fig. 17b
+        "SW" line).
+        """
+        rng = as_rng(seed)
+        n = max_samples or len(self.x_test)
+        correct = 0
+        for x, y in zip(self.x_test[:n], self.y_test[:n]):
+            if kind is None:
+                feats = self._features(x)
+            else:
+                matmul = self._faulty_matmul(kind, fault_rate, scheme, rng)
+                feats = self._attention(x, matmul)
+            pred = int(np.argmax(feats @ self._head))
+            correct += int(pred == y)
+        return correct / n
+
+
+def embedding_histogram(config: BertProxyConfig = None,
+                        bits: int = 8) -> Dict[int, int]:
+    """Fig. 3b: distribution of the int8-quantized input embeddings."""
+    proxy = BertProxy(config or BertProxyConfig())
+    values: Dict[int, int] = {}
+    for x in proxy.x_test:
+        q, _ = _quantize(x, bits)
+        for v, c in zip(*np.unique(q, return_counts=True)):
+            values[int(v)] = values.get(int(v), 0) + int(c)
+    return values

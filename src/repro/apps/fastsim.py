@@ -1,0 +1,175 @@
+"""Fast fault-injected accumulator models for application studies.
+
+The gate-level engine is bit-exact but too slow for application-scale
+fault sweeps (Figs. 4 and 17), so this module provides vectorized
+models that preserve the failure modes that drive those figures:
+
+* **Johnson counters** -- a fault flips one bit of a digit's ring state,
+  perturbing the (lenient) decode by roughly ±1 *within the digit*:
+  errors stay low-order unless they land on high digits.
+* **RCA binary accumulators** -- a fault in the carry chain perturbs all
+  higher-order bits of a wide binary total: errors are frequently
+  catastrophic (Sec. 3's motivation).
+
+Both support the three protection schemes of Figs. 4/17: ``none``,
+``tmr`` (replica voting; residual ``3 f²``) and ``ecc`` (the Sec. 6
+XOR-embedding; residual ``1.5 f^(r+1)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import numpy as np
+
+from repro.core import johnson
+from repro.core.iarm import CarryResolve, IARMScheduler, Increment
+from repro.ecc.analysis import protected_error_rate
+from repro.ecc.tmr import tmr_error_rate
+from repro.util import RngLike, as_rng, check_probability
+
+__all__ = ["effective_bit_fault_rate", "FastJCAccumulator",
+           "FastRCAAccumulator"]
+
+#: Multi-row activations per bit-row update that can fault (the two
+#: masking TRAs), scaled by the average contested fraction (Sec. 6.1).
+_OPS_PER_BIT_UPDATE = 2 * 0.75
+
+
+def effective_bit_fault_rate(raw_rate: float, scheme: str,
+                             fr_checks: int = 2) -> float:
+    """Per-bit-row silent-flip probability for one counting step."""
+    f = check_probability(raw_rate, "raw_rate")
+    if scheme == "none":
+        return min(1.0, _OPS_PER_BIT_UPDATE * f)
+    if scheme == "tmr":
+        return min(1.0, _OPS_PER_BIT_UPDATE * tmr_error_rate(f))
+    if scheme == "ecc":
+        return min(1.0, 2 * protected_error_rate(f, fr_checks))
+    raise ValueError(f"unknown scheme {scheme!r}")
+
+
+@dataclass
+class FastJCAccumulator:
+    """Vector of multi-digit Johnson counters with per-step bit faults.
+
+    State is the actual ring encoding ``[n_digits, n_bits, n_lanes]``;
+    every scheduler event applies the true transition pattern and then
+    flips each bit row independently at the effective rate, so fault
+    propagation (including corrupted O_next flags) is structural, not
+    statistical.
+    """
+
+    n_bits: int
+    n_digits: int
+    n_lanes: int
+    fault_rate: float = 0.0
+    scheme: str = "none"
+    fr_checks: int = 2
+    seed: RngLike = None
+
+    def __post_init__(self):
+        self._rng = as_rng(self.seed)
+        self.bits = np.zeros((self.n_digits, self.n_bits, self.n_lanes),
+                             dtype=np.uint8)
+        self.onext = np.zeros((self.n_digits, self.n_lanes), dtype=np.uint8)
+        self.scheduler = IARMScheduler(self.n_bits, self.n_digits)
+        self._p = effective_bit_fault_rate(self.fault_rate, self.scheme,
+                                           self.fr_checks)
+
+    # ------------------------------------------------------------------
+    def _inject(self, rows: np.ndarray) -> np.ndarray:
+        if self._p <= 0:
+            return rows
+        flips = self._rng.random(rows.shape) < self._p
+        return rows ^ flips.astype(np.uint8)
+
+    def _step_digit(self, digit: int, k: int, mask: np.ndarray) -> None:
+        lanes = self.bits[digit]
+        old_msb = lanes[-1].copy()
+        new = johnson.step(lanes, k, mask)
+        new = self._inject(new)
+        self.bits[digit] = new
+        flag_fn = (johnson.overflow_after_step if k > 0
+                   else johnson.underflow_after_step)
+        flag = flag_fn(old_msb, new[-1], abs(k), self.n_bits, mask)
+        self.onext[digit] = self._inject(self.onext[digit] | flag)
+
+    def _resolve(self, digit: int, direction: int) -> None:
+        mask = self.onext[digit]
+        if mask.any():
+            self._step_digit(digit + 1, direction, mask)
+        self.onext[digit] = 0
+
+    # ------------------------------------------------------------------
+    def accumulate(self, value: int, mask: np.ndarray) -> None:
+        """Masked accumulation of one (signed) input value."""
+        mask = np.asarray(mask, dtype=np.uint8)
+        for ev in self.scheduler.schedule_value(int(value)):
+            if isinstance(ev, Increment):
+                self._step_digit(ev.digit, ev.k, mask)
+            elif isinstance(ev, CarryResolve):
+                self._resolve(ev.digit, ev.direction)
+
+    def read(self) -> np.ndarray:
+        """Lenient decode of every lane (flushes pending carries)."""
+        for ev in self.scheduler.flush():
+            if isinstance(ev, CarryResolve):
+                self._resolve(ev.digit, ev.direction)
+        totals = np.zeros(self.n_lanes, dtype=np.int64)
+        weight = 1
+        radix = 2 * self.n_bits
+        for d in range(self.n_digits):
+            totals += johnson.decode_lanes(self.bits[d],
+                                           strict=False) * weight
+            totals += self.onext[d].astype(np.int64) * weight * radix
+            weight *= radix
+        return totals
+
+
+@dataclass
+class FastRCAAccumulator:
+    """Vector of W-bit binary accumulators with faulty bit-serial adds.
+
+    Mirrors :func:`repro.baselines.rca.rca_masked_add_fast` but holds
+    state and applies the protection-scheme residual rates, so it plugs
+    into the same sweep harness as :class:`FastJCAccumulator`.
+    """
+
+    width: int
+    n_lanes: int
+    fault_rate: float = 0.0
+    scheme: str = "none"
+    fr_checks: int = 2
+    seed: RngLike = None
+
+    def __post_init__(self):
+        self._rng = as_rng(self.seed)
+        self.bits = np.zeros((self.width, self.n_lanes), dtype=np.uint8)
+        self._p = effective_bit_fault_rate(self.fault_rate, self.scheme,
+                                           self.fr_checks)
+
+    def _inject(self, row: np.ndarray) -> np.ndarray:
+        if self._p <= 0:
+            return row
+        flips = self._rng.random(row.shape) < self._p
+        return row ^ flips.astype(np.uint8)
+
+    def accumulate(self, value: int, mask: np.ndarray) -> None:
+        mask = np.asarray(mask, dtype=np.uint8)
+        x = int(value) % (1 << self.width)
+        carry = np.zeros(self.n_lanes, dtype=np.uint8)
+        for i in range(self.width):
+            b = mask if ((x >> i) & 1) else np.zeros_like(mask)
+            a = self.bits[i]
+            s = self._inject(a ^ b ^ carry)
+            carry = self._inject(
+                ((a.astype(np.int16) + b + carry) >= 2).astype(np.uint8))
+            self.bits[i] = s
+
+    def read(self, signed: bool = True) -> np.ndarray:
+        weights = (1 << np.arange(self.width, dtype=np.int64))
+        vals = (self.bits.astype(np.int64) * weights[:, None]).sum(axis=0)
+        if signed:
+            half = 1 << (self.width - 1)
+            vals = np.where(vals >= half, vals - (1 << self.width), vals)
+        return vals

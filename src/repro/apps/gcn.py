@@ -1,0 +1,111 @@
+"""Graph convolutional network workload (paper Sec. 7.1, PubMed).
+
+A two-layer GCN node classifier: ``softmax(Â relu(Â X W1) W2)``.  The
+neighborhood aggregation ``Â H`` is exactly Count2Multiply's masked
+accumulation -- the (binary) adjacency rows are the masks and the node
+features the broadcast integers -- so both the feature transforms and
+the aggregations run on the CIM kernels.
+
+PubMed itself is replaced by a size-matched synthetic citation graph
+(19717 nodes / 88648 edges at full scale; tests use a scaled-down graph
+with the same construction), per the substitution policy in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import networkx as nx
+import numpy as np
+
+from repro.kernels.gemm import binary_gemm, ternary_gemm
+from repro.util import RngLike, as_rng
+
+__all__ = ["GCNConfig", "SyntheticCitationGraph", "gcn_forward_cim",
+           "gcn_forward_reference"]
+
+
+@dataclass
+class GCNConfig:
+    """Synthetic citation-graph GCN (PubMed-like statistics)."""
+
+    n_nodes: int = 120
+    n_edges: int = 540
+    n_feats: int = 24
+    n_hidden: int = 8
+    n_classes: int = 3
+    feat_scale: int = 7          # features are small non-negative ints
+    seed: RngLike = 23
+
+
+@dataclass
+class SyntheticCitationGraph:
+    """Random graph + integer features + ternary GCN weights."""
+
+    config: GCNConfig = field(default_factory=GCNConfig)
+
+    def __post_init__(self):
+        cfg = self.config
+        rng = as_rng(cfg.seed)
+        graph = nx.gnm_random_graph(cfg.n_nodes, cfg.n_edges,
+                                    seed=int(rng.integers(2 ** 31)))
+        self.adjacency = (nx.to_numpy_array(graph, dtype=np.uint8)
+                          + np.eye(cfg.n_nodes, dtype=np.uint8))
+        self.adjacency = (self.adjacency > 0).astype(np.uint8)
+        # Class-correlated small-integer features (TF counts).
+        self.labels = rng.integers(0, cfg.n_classes, cfg.n_nodes)
+        prototypes = rng.integers(0, cfg.feat_scale,
+                                  (cfg.n_classes, cfg.n_feats))
+        noise = rng.integers(0, 2, (cfg.n_nodes, cfg.n_feats))
+        self.features = (prototypes[self.labels] + noise).astype(np.int64)
+        w1 = rng.normal(0, 1, (cfg.n_feats, cfg.n_hidden))
+        w2 = rng.normal(0, 1, (cfg.n_hidden, cfg.n_classes))
+        delta1 = 0.7 * np.abs(w1).mean()
+        delta2 = 0.7 * np.abs(w2).mean()
+        self.w1 = (np.sign(w1) * (np.abs(w1) > delta1)).astype(np.int8)
+        self.w2 = (np.sign(w2) * (np.abs(w2) > delta2)).astype(np.int8)
+
+
+def gcn_forward_reference(graph: SyntheticCitationGraph) -> np.ndarray:
+    """Pure-numpy forward pass (integer arithmetic throughout)."""
+    a = graph.adjacency.astype(np.int64)
+    h = a @ (graph.features @ graph.w1.astype(np.int64))
+    h = np.maximum(h, 0)
+    return a @ (h @ graph.w2.astype(np.int64))
+
+
+def gcn_forward_cim(graph: SyntheticCitationGraph,
+                    n_bits: int = 2, **kernel_kwargs) -> np.ndarray:
+    """Forward pass with every matmul on the CIM kernels.
+
+    Feature transforms use the ternary GEMM; aggregations use the binary
+    GEMM with the adjacency rows as masks (values must be non-negative,
+    so aggregation happens after the ReLU and on split pos/neg parts for
+    the first layer).
+    """
+    xw = ternary_gemm(graph.features, graph.w1, n_bits=n_bits,
+                      **kernel_kwargs)
+    # Aggregate signed values as pos/neg masked accumulations.
+    pos = binary_gemm(np.maximum(xw, 0).T, graph.adjacency.T,
+                      n_bits=n_bits, **kernel_kwargs).T
+    neg = binary_gemm(np.maximum(-xw, 0).T, graph.adjacency.T,
+                      n_bits=n_bits, **kernel_kwargs).T
+    h = np.maximum(pos - neg, 0)
+    hw = ternary_gemm(h, graph.w2, n_bits=n_bits, **kernel_kwargs)
+    pos = binary_gemm(np.maximum(hw, 0).T, graph.adjacency.T,
+                      n_bits=n_bits, **kernel_kwargs).T
+    neg = binary_gemm(np.maximum(-hw, 0).T, graph.adjacency.T,
+                      n_bits=n_bits, **kernel_kwargs).T
+    return pos - neg
+
+
+def classification_agreement(graph: SyntheticCitationGraph,
+                             **kwargs) -> Dict[str, float]:
+    """Fraction of nodes where CIM and reference logits pick the same
+    class (1.0 when fault-free)."""
+    ref = gcn_forward_reference(graph)
+    cim = gcn_forward_cim(graph, **kwargs)
+    agree = (ref.argmax(axis=1) == cim.argmax(axis=1)).mean()
+    exact = float((ref == cim).all())
+    return {"argmax_agreement": float(agree), "exact": exact}

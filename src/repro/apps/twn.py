@@ -1,0 +1,71 @@
+"""Ternary weight networks (paper Sec. 7.1 "TWNs": LeNet, VGG-13/16).
+
+Convolutions lower to im2col GEMMs whose shapes live in
+:mod:`repro.apps.workloads`; this module adds the *functional* piece: a
+numpy ternary convolution executed through the Count2Multiply kernels so
+tests can verify end-to-end correctness of a real layer, plus TWN-style
+weight ternarization.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.kernels.gemm import ternary_gemm
+from repro.util import RngLike, as_rng
+
+__all__ = ["ternarize_weights", "im2col", "conv2d_ternary_reference",
+           "conv2d_ternary_cim"]
+
+
+def ternarize_weights(w: np.ndarray, threshold_factor: float = 0.7
+                      ) -> np.ndarray:
+    """TWN ternarization: ``sign(w) * (|w| > 0.7 mean|w|)`` (Li et al.)."""
+    delta = threshold_factor * np.abs(w).mean()
+    return (np.sign(w) * (np.abs(w) > delta)).astype(np.int8)
+
+
+def im2col(x: np.ndarray, kernel: int) -> Tuple[np.ndarray, int, int]:
+    """Unfold ``[C, H, W]`` into ``[H' * W', C * k * k]`` patches."""
+    c, h, w = x.shape
+    h_out, w_out = h - kernel + 1, w - kernel + 1
+    cols = np.zeros((h_out * w_out, c * kernel * kernel), dtype=x.dtype)
+    idx = 0
+    for i in range(h_out):
+        for j in range(w_out):
+            cols[idx] = x[:, i:i + kernel, j:j + kernel].ravel()
+            idx += 1
+    return cols, h_out, w_out
+
+
+def conv2d_ternary_reference(x: np.ndarray, w: np.ndarray) -> np.ndarray:
+    """Reference integer convolution: x [C,H,W] int, w [F,C,k,k] ternary."""
+    f, c, k, _ = w.shape
+    cols, h_out, w_out = im2col(x, k)
+    out = cols.astype(np.int64) @ w.reshape(f, -1).T.astype(np.int64)
+    return out.T.reshape(f, h_out, w_out)
+
+
+def conv2d_ternary_cim(x: np.ndarray, w: np.ndarray,
+                       n_bits: int = 2, **kernel_kwargs) -> np.ndarray:
+    """The same convolution through the gate-level CIM GEMM.
+
+    The im2col patch matrix is the integer operand X (one output pixel
+    per row); the flattened filters are the ternary mask matrix Z.
+    """
+    f, c, k, _ = w.shape
+    cols, h_out, w_out = im2col(x, k)
+    z = w.reshape(f, -1).T.astype(np.int8)         # [C*k*k, F]
+    out = ternary_gemm(cols.astype(np.int64), z, n_bits=n_bits,
+                       **kernel_kwargs)
+    return out.T.reshape(f, h_out, w_out)
+
+
+def random_ternary_layer(c_in: int, c_out: int, kernel: int,
+                         seed: RngLike = 0) -> np.ndarray:
+    """A random TWN-ternarized filter bank for tests/examples."""
+    rng = as_rng(seed)
+    return ternarize_weights(rng.normal(0, 1, (c_out, c_in, kernel,
+                                                kernel)))

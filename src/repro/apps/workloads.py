@@ -1,0 +1,157 @@
+"""Workload inventories for the evaluation (paper Tab. 3 and Sec. 7.1).
+
+Every Fig. 14-16/18 workload reduces to a list of GEMM shapes (convs via
+im2col), each tagged with the input sparsity the paper's sparsity
+discussion attributes to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.perf.model import GEMMShape
+
+__all__ = ["LLAMA_SHAPES", "WorkloadLayer", "layer_inventory",
+           "WORKLOAD_NAMES"]
+
+#: Tab. 3 -- GEMV and GEMM dimensions from LLaMA / LLaMA-2.
+LLAMA_SHAPES: Dict[str, GEMMShape] = {
+    "V0": GEMMShape(1, 22016, 8192, "V0"),
+    "V1": GEMMShape(1, 8192, 22016, "V1"),
+    "V2": GEMMShape(1, 8192, 8192, "V2"),
+    "V3": GEMMShape(1, 28672, 8192, "V3"),
+    "V4": GEMMShape(1, 8192, 28672, "V4"),
+    "M0": GEMMShape(8192, 22016, 8192, "M0"),
+    "M1": GEMMShape(8192, 8192, 22016, "M1"),
+    "M2": GEMMShape(8192, 8192, 8192, "M2"),
+    "M3": GEMMShape(8192, 28672, 8192, "M3"),
+    "M4": GEMMShape(8192, 8192, 28672, "M4"),
+}
+
+
+@dataclass(frozen=True)
+class WorkloadLayer:
+    """One GEMM-decomposed layer with its typical input sparsity."""
+
+    shape: GEMMShape
+    sparsity: float = 0.0
+
+
+def _conv(h_out: int, w_out: int, c_in: int, k: int, c_out: int,
+          name: str, sparsity: float = 0.5) -> WorkloadLayer:
+    """im2col GEMM of a k x k convolution (ReLU inputs ~50 % sparse)."""
+    return WorkloadLayer(GEMMShape(h_out * w_out, c_out, k * k * c_in,
+                                   name), sparsity)
+
+
+def _fc(m: int, k: int, n: int, name: str,
+        sparsity: float = 0.5) -> WorkloadLayer:
+    return WorkloadLayer(GEMMShape(m, n, k, name), sparsity)
+
+
+def _lenet() -> List[WorkloadLayer]:
+    """LeNet-5 on 28x28 MNIST."""
+    return [
+        _conv(24, 24, 1, 5, 6, "conv1", sparsity=0.2),
+        _conv(8, 8, 6, 5, 16, "conv2"),
+        _fc(1, 256, 120, "fc1"),
+        _fc(1, 120, 84, "fc2"),
+        _fc(1, 84, 10, "fc3"),
+    ]
+
+
+def _vgg(cfg: List, name: str) -> List[WorkloadLayer]:
+    """VGG conv stack on 224x224x3 + the three FC layers."""
+    layers: List[WorkloadLayer] = []
+    h = w = 224
+    c_in = 3
+    idx = 1
+    for entry in cfg:
+        if entry == "M":
+            h //= 2
+            w //= 2
+            continue
+        layers.append(_conv(h, w, c_in, 3, entry, f"{name}-conv{idx}",
+                            sparsity=0.1 if idx == 1 else 0.5))
+        c_in = entry
+        idx += 1
+    layers.append(_fc(1, 512 * 7 * 7, 4096, f"{name}-fc1"))
+    layers.append(_fc(1, 4096, 4096, f"{name}-fc2"))
+    layers.append(_fc(1, 4096, 1000, f"{name}-fc3"))
+    return layers
+
+
+_VGG13 = [64, 64, "M", 128, 128, "M", 256, 256, "M",
+          512, 512, "M", 512, 512, "M"]
+_VGG16 = [64, 64, "M", 128, 128, "M", 256, 256, 256, "M",
+          512, 512, 512, "M", 512, 512, 512, "M"]
+
+
+def _bert_attention(seq: int = 128, d_model: int = 768, heads: int = 12,
+                    layers: int = 12) -> List[WorkloadLayer]:
+    """All GEMMs in BERT-base attention blocks (ternary weights [32])."""
+    d_head = d_model // heads
+    per_layer = [
+        _fc(seq, d_model, 3 * d_model, "qkv", sparsity=0.3),
+        # Attention scores and context, one GEMM per head.
+        *[WorkloadLayer(GEMMShape(seq, seq, d_head, f"scores-h{h}"), 0.3)
+          for h in range(heads)],
+        *[WorkloadLayer(GEMMShape(seq, d_head, seq, f"context-h{h}"), 0.6)
+          for h in range(heads)],
+        _fc(seq, d_model, d_model, "out-proj", sparsity=0.3),
+        _fc(seq, d_model, 4 * d_model, "ffn-up", sparsity=0.3),
+        _fc(seq, 4 * d_model, d_model, "ffn-down", sparsity=0.6),
+    ]
+    return per_layer * layers
+
+
+def _gcn_pubmed() -> List[WorkloadLayer]:
+    """Two-layer GCN on PubMed (19717 nodes, 88648 edges, 500 feats).
+
+    Aggregation over the adjacency is a GEMM whose operand sparsity is
+    the graph's (~99.98 %); feature transforms see the natural feature
+    sparsity.
+    """
+    n, feats, hidden, classes = 19717, 500, 16, 3
+    adj_sparsity = 1.0 - (2 * 88648 + n) / (n * n)
+    return [
+        _fc(n, feats, hidden, "xw1", sparsity=0.9),
+        WorkloadLayer(GEMMShape(n, hidden, n, "agg1"), adj_sparsity),
+        _fc(n, hidden, classes, "hw2", sparsity=0.5),
+        WorkloadLayer(GEMMShape(n, classes, n, "agg2"), adj_sparsity),
+    ]
+
+
+def _dna_filter() -> List[WorkloadLayer]:
+    """Pre-alignment filtering of one human-scale read batch.
+
+    GRIM-Filter bins a 3.2 Gbp genome at ~4.5 M bins; a batch of 100k
+    reads accumulates ~110 token counts each against the bin
+    bitvectors.  Expressed as a masked accumulation shape: K = tokens
+    per read x reads, N = bins per subarray tile.
+    """
+    return [WorkloadLayer(GEMMShape(1, 4_500_000, 110 * 100_000, "dna"),
+                          sparsity=0.0)]
+
+
+_INVENTORIES = {
+    "LeNET": _lenet,
+    "VGG13": lambda: _vgg(_VGG13, "vgg13"),
+    "VGG16": lambda: _vgg(_VGG16, "vgg16"),
+    "BERT": _bert_attention,
+    "DNA filt": _dna_filter,
+    "GCN": _gcn_pubmed,
+    "GEMV": lambda: [WorkloadLayer(LLAMA_SHAPES["V0"], 0.3)],
+    "GEMM": lambda: [WorkloadLayer(LLAMA_SHAPES["M0"], 0.3)],
+}
+
+WORKLOAD_NAMES = tuple(_INVENTORIES)
+
+
+def layer_inventory(name: str) -> List[WorkloadLayer]:
+    """GEMM decomposition of one Fig. 18 workload."""
+    if name not in _INVENTORIES:
+        raise KeyError(f"unknown workload {name!r}; "
+                       f"choose from {WORKLOAD_NAMES}")
+    return _INVENTORIES[name]()

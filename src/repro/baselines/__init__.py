@@ -1,0 +1,13 @@
+"""Comparison baselines: bit-serial RCA (gate-level + fast), the SIMDRAM
+performance model, and the GPU roofline model."""
+
+from repro.baselines.gpu import GPUModel, GPUSpec, RTX_3090_TI
+from repro.baselines.rca import (RCAAccumulator, full_adder_ops,
+                                 rca_masked_add_fast)
+from repro.baselines.simdram import SIMDRAMConfig, SIMDRAMModel
+
+__all__ = [
+    "GPUModel", "GPUSpec", "RTX_3090_TI",
+    "RCAAccumulator", "full_adder_ops", "rca_masked_add_fast",
+    "SIMDRAMConfig", "SIMDRAMModel",
+]

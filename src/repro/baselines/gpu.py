@@ -1,0 +1,89 @@
+"""Analytical GPU baseline: NVIDIA RTX 3090 Ti (paper Sec. 7.1).
+
+The paper measures a physical RTX 3090 Ti with cudaEvents/nvidia-smi; we
+substitute a roofline model built from the public Ampere GA102 whitepaper
+figures (DESIGN.md Sec. 5).  The model captures exactly the effects that
+drive the paper's crossovers:
+
+* GEMM is tensor-core compute-bound; GEMV is memory-bandwidth-bound;
+* dense-math latency is *flat* across input sparsity (cuBLAS kernels do
+  not skip zeros, Sec. 7.2.3);
+* end-to-end latency includes streaming the packed ternary weight matrix
+  over PCIe when it is not resident (Fig. 16 "including memory
+  transfer").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GPUSpec", "RTX_3090_TI", "GPUModel"]
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Public datasheet figures for the baseline GPU."""
+
+    name: str = "RTX 3090 Ti"
+    int8_tensor_tops: float = 320.0       # dense INT8 tensor throughput
+    mem_bandwidth_gbs: float = 1008.0     # GDDR6X
+    pcie_bandwidth_gbs: float = 25.0      # PCIe 4.0 x16, effective
+    tdp_w: float = 450.0
+    area_mm2: float = 628.0               # GA102 die
+    utilization: float = 0.6              # achieved fraction of peak
+
+
+#: The paper's comparison GPU (GA102 whitepaper [47]).
+RTX_3090_TI = GPUSpec()
+
+
+@dataclass
+class GPUModel:
+    """Roofline latency/energy for integer-ternary GEMM/GEMV."""
+
+    spec: GPUSpec = RTX_3090_TI
+    #: Ternary weights travel as int4 (the common sub-byte packing that
+    #: INT8 tensor-core kernels can unpack on the fly); this calibrates
+    #: the Fig. 16 GEMV crossover to the paper's ~40 % sparsity.
+    weight_bits: int = 4
+    activation_bytes: int = 1             # int8 activations
+
+    def kernel_time_s(self, m: int, n: int, k: int) -> float:
+        """max(compute, memory) time of the matmul kernel itself."""
+        ops = 2.0 * m * n * k
+        compute = ops / (self.spec.int8_tensor_tops * 1e12
+                         * self.spec.utilization)
+        bytes_moved = (m * k * self.activation_bytes          # A read
+                       + k * n * self.weight_bits / 8.0       # B read
+                       + m * n * 4)                           # C write
+        memory = bytes_moved / (self.spec.mem_bandwidth_gbs * 1e9)
+        return max(compute, memory)
+
+    def transfer_time_s(self, m: int, n: int, k: int,
+                        weights_resident: bool = False) -> float:
+        """PCIe streaming of operands and the result."""
+        bw = self.spec.pcie_bandwidth_gbs * 1e9
+        moved = m * k * self.activation_bytes + m * n * 4
+        if not weights_resident:
+            moved += k * n * self.weight_bits / 8.0
+        return moved / bw
+
+    def total_time_s(self, m: int, n: int, k: int,
+                     include_transfer: bool = True,
+                     weights_resident: bool = False) -> float:
+        t = self.kernel_time_s(m, n, k)
+        if include_transfer:
+            t += self.transfer_time_s(m, n, k, weights_resident)
+        return t
+
+    # ------------------------------------------------------------------
+    def power_w(self) -> float:
+        """Average board power during the kernel (utilization-scaled)."""
+        return self.spec.tdp_w * max(self.spec.utilization, 0.5)
+
+    def energy_j(self, m: int, n: int, k: int, **kwargs) -> float:
+        return self.total_time_s(m, n, k, **kwargs) * self.power_w()
+
+    @property
+    def area_mm2(self) -> float:
+        return self.spec.area_mm2

@@ -1,0 +1,79 @@
+"""Bit-serial shift-add multiplier baseline (SIMDRAM-style int x int).
+
+For integer-integer workloads SIMDRAM multiplies with the classic
+shift-add dataflow: for each set bit ``j`` of the multiplier, add the
+multiplicand (shifted by ``j``) into the product -- each addition a full
+bit-serial RCA pass.  Count2Multiply replaces all of this with CSD
+bit-sliced masked counting (Sec. 5.2.3); this module provides the
+baseline's gate-level implementation and cost model so the comparison is
+apples-to-apples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.rca import RCAAccumulator
+from repro.core.opcount import rca_add_ops
+from repro.dram.faults import FAULT_FREE, FaultModel
+
+__all__ = ["BitSerialMultiplier", "multiply_ops"]
+
+
+def multiply_ops(operand_bits: int, accumulator_bits: int) -> int:
+    """Command sequences for one bit-serial multiplication.
+
+    One full-width RCA addition per multiplier bit (zero bits still
+    burn the pass -- the command stream is input-independent, like all
+    of SIMDRAM's arithmetic).
+    """
+    return operand_bits * (rca_add_ops(accumulator_bits) + 1)
+
+
+class BitSerialMultiplier:
+    """Gate-level ``product[lane] += a * b[lane]`` with b resident.
+
+    The per-lane multiplicand ``b`` is held as bit rows; the broadcast
+    scalar ``a`` selects which shifted additions run.  Implemented on
+    top of :class:`RCAAccumulator` -- each shifted addition masks the
+    accumulator's addend rows with the corresponding bit row of ``b``.
+    """
+
+    def __init__(self, operand_bits: int, accumulator_bits: int,
+                 n_lanes: int, fault_model: FaultModel = FAULT_FREE):
+        self.operand_bits = int(operand_bits)
+        self.acc = RCAAccumulator(accumulator_bits, n_lanes, fault_model)
+        self.n_lanes = n_lanes
+        self._b_bits = np.zeros((operand_bits, n_lanes), dtype=np.uint8)
+        self.ops_issued = 0
+
+    def load_multiplicands(self, values) -> None:
+        """Store per-lane multiplicands (unsigned, operand width)."""
+        values = np.asarray(values, dtype=np.int64)
+        if values.shape != (self.n_lanes,):
+            raise ValueError("multiplicand vector width mismatch")
+        if (values < 0).any() or (values >= (1 << self.operand_bits)).any():
+            raise ValueError("multiplicand out of operand range")
+        for i in range(self.operand_bits):
+            self._b_bits[i] = (values >> i) & 1
+
+    def reset(self) -> None:
+        self.acc.reset()
+        self.ops_issued = 0
+
+    def multiply_accumulate(self, a: int) -> None:
+        """``product += a * b`` via shift-add (a broadcast, b resident).
+
+        ``a * b = sum_j b_j ? (a << j) : 0`` -- for every bit row j of b,
+        add ``a << j`` masked by that row.  Every bit position issues its
+        pass regardless of a's bits, matching SIMDRAM's fixed stream.
+        """
+        a = int(a)
+        if not 0 <= a < (1 << self.operand_bits):
+            raise ValueError("broadcast operand out of range")
+        for j in range(self.operand_bits):
+            self.acc.load_mask(self._b_bits[j])
+            self.ops_issued += self.acc.add_masked(a << j)
+
+    def read_products(self) -> np.ndarray:
+        return self.acc.read_values()

@@ -1,0 +1,153 @@
+"""Bit-serial ripple-carry adder baseline (SIMDRAM-style, Secs. 1, 3).
+
+The state of the art for in-DRAM accumulation is a MAJ-based full adder
+applied bit-serially over the full accumulator width: carry via one TRA
+(``carry' = MAJ(a_i, b_i, carry)``) and sum via the majority identity
+
+    ``a ⊕ b ⊕ c = MAJ( NOT MAJ(a,b,c), MAJ(a, b, NOT c), c )``.
+
+Two implementations live here:
+
+* :class:`RCAAccumulator` -- executable μPrograms on the gate-level
+  Ambit subarray (14 command sequences per bit, the source of
+  ``opcount.RCA_OPS_PER_BIT``), used for correctness and fault studies;
+* :func:`rca_masked_add_fast` -- a vectorized functional model with
+  per-op fault injection for application-scale studies (Figs. 4/17),
+  which preserves the key failure mode: a faulty carry perturbs *all*
+  higher-order bits.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.dram.ambit import AmbitSubarray
+from repro.dram.faults import FAULT_FREE, FaultModel
+from repro.isa.microprogram import MicroProgram, aap, ap
+
+__all__ = ["RCAAccumulator", "rca_masked_add_fast", "full_adder_ops"]
+
+
+def full_adder_ops(a_row, b_row, carry_row, sum_out_row,
+                   u_scratch_row) -> List:
+    """One full-adder bit: 12 AAP/AP sequences.
+
+    Computes ``sum = a ⊕ b ⊕ c`` into ``sum_out_row`` and the new carry
+    ``MAJ(a, b, c)`` into ``carry_row``; ``u_scratch_row`` holds the
+    intermediate ``u = MAJ(a, b, NOT c)``.  Fusing compute-and-copy into
+    single AAPs (activating a TRA address as the AAP source) keeps the
+    count at twelve.
+    """
+    return [
+        # u = MAJ(a, b, NOT c)
+        aap(a_row, "B0"),
+        aap(b_row, "B1"),
+        aap(carry_row, "B5"),       # DCC0 <- NOT c
+        aap("B11", u_scratch_row),  # compute u and copy out
+        # v = MAJ(a, b, c); complement parked in DCC0 via the B8 target
+        aap(a_row, "B0"),
+        aap(b_row, "B1"),
+        aap(carry_row, "B2"),
+        aap("B12", "B8"),           # T0..T2 <- v, then T0 <- v, DCC0 <- ~v
+        # sum = MAJ(c, u, NOT v); v survives in T2 for the carry update
+        aap(u_scratch_row, "B1"),
+        aap(carry_row, "B0"),
+        aap("B11", sum_out_row),    # MAJ(c, u, NOT v) -> sum
+        aap("B2", carry_row),       # new carry <- v
+    ]
+
+
+class RCAAccumulator:
+    """A vector of W-bit binary accumulators updated by bit-serial RCA.
+
+    Row layout: rows ``0..W-1`` accumulator bits (LSB first), ``W`` carry,
+    ``W+1`` carry scratch, ``W+2`` masked-addend scratch, ``W+3`` mask.
+    The addend is a broadcast constant, so its per-bit row is either the
+    all-zero C-group row or the mask itself (``m AND x_i``), mirroring how
+    Count2Multiply broadcasts inputs.
+    """
+
+    def __init__(self, width_bits: int, n_lanes: int,
+                 fault_model: FaultModel = FAULT_FREE):
+        self.width = int(width_bits)
+        self.n_lanes = int(n_lanes)
+        self.subarray = AmbitSubarray(self.width + 4, n_lanes, fault_model)
+        self._carry = self.width
+        self._scratch = self.width + 1
+        self._sum_scratch = self.width + 2
+        self._mask_row = self.width + 3
+
+    def load_mask(self, bits) -> None:
+        self.subarray.write_data_row(self._mask_row,
+                                     np.asarray(bits, dtype=np.uint8))
+
+    def reset(self) -> None:
+        zero = np.zeros(self.n_lanes, dtype=np.uint8)
+        for r in range(self.width):
+            self.subarray.write_data_row(r, zero)
+
+    def add_masked(self, value: int) -> int:
+        """Add ``value`` to every masked lane; returns ops issued.
+
+        Negative values are added in two's complement (width-truncated).
+        Unmasked lanes see an all-zero addend and a zero carry-in, so
+        they pass through unchanged without any predication logic.
+        """
+        x = int(value) % (1 << self.width)
+        ops: List = [aap("C0", self._carry)]       # clear carry-in
+        for i in range(self.width):
+            bit = (x >> i) & 1
+            b_row = self._mask_row if bit else "C0"
+            # Row i is fully consumed before the sum lands, so the
+            # full adder can write it in place.
+            ops.extend(full_adder_ops(i, b_row, self._carry,
+                                      i, self._scratch))
+        prog = MicroProgram(f"rca_add({value})", tuple(ops))
+        prog.run(self.subarray)
+        return len(prog)
+
+    def read_values(self) -> np.ndarray:
+        """Decode accumulators as unsigned W-bit integers."""
+        bits = self.subarray.read_rows(list(range(self.width)))
+        weights = (1 << np.arange(self.width, dtype=np.int64))
+        return (bits.astype(np.int64) * weights[:, None]).sum(axis=0)
+
+    def read_signed(self) -> np.ndarray:
+        """Two's-complement interpretation of the accumulators."""
+        vals = self.read_values()
+        half = 1 << (self.width - 1)
+        return np.where(vals >= half, vals - (1 << self.width), vals)
+
+
+def rca_masked_add_fast(acc_bits: np.ndarray, value: int, mask: np.ndarray,
+                        fault_model: FaultModel = FAULT_FREE,
+                        ops_per_bit_faultable: int = 3) -> np.ndarray:
+    """Vectorized masked RCA addition with per-op fault injection.
+
+    ``acc_bits`` is ``[W, n_lanes]`` (LSB first) and is updated in place
+    semantics-free (a new array is returned).  Each bit position performs
+    ``ops_per_bit_faultable`` faultable CIM results (the two MAJ3 TRAs
+    and the final sum majority); a fault flips the corresponding sum or
+    carry bit, so carry faults corrupt the remaining ripple -- the
+    high-order-bit failure mode of Sec. 3.
+    """
+    acc = np.array(acc_bits, dtype=np.uint8)
+    w, lanes = acc.shape
+    mask = np.asarray(mask, dtype=np.uint8)
+    x = int(value) % (1 << w)
+    carry = np.zeros(lanes, dtype=np.uint8)
+    for i in range(w):
+        b = mask if ((x >> i) & 1) else np.zeros(lanes, dtype=np.uint8)
+        a = acc[i]
+        s = a ^ b ^ carry
+        c_new = ((a.astype(np.int16) + b + carry) >= 2).astype(np.uint8)
+        # Faults: one roll for the sum result, one for the carry TRA, one
+        # for the intermediate majority (folded into the sum roll).
+        s = fault_model.corrupt(s, multi_row=True)
+        if ops_per_bit_faultable >= 2:
+            c_new = fault_model.corrupt(c_new, multi_row=True)
+        acc[i] = np.where(mask | True, s, a)  # all lanes compute; b masks
+        carry = c_new
+    return acc

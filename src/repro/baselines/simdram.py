@@ -1,0 +1,59 @@
+"""SIMDRAM baseline performance model (paper Sec. 7.1, "SIMDRAM:X").
+
+SIMDRAM [18] executes bit-serial ripple-carry arithmetic with Ambit-style
+majority operations.  For the masked-accumulation workloads evaluated in
+the paper its cost per accumulated input is one full-width RCA addition
+(:data:`repro.core.opcount.RCA_OPS_PER_BIT` per accumulator bit); ternary
+operands need a second (subtract) pass.  SIMDRAM performs no
+zero-skipping -- its command stream is input-independent (Sec. 7.2.3) --
+which is why its latency is flat across the sparsity sweep of Fig. 16.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.opcount import rca_add_ops
+from repro.dram.energy import DDR5_ENERGY, EnergyModel
+from repro.dram.geometry import DDR5_4400, DRAMGeometry
+from repro.dram.timing import DDR5_4400_TIMING, TimingParams
+
+__all__ = ["SIMDRAMConfig", "SIMDRAMModel"]
+
+
+@dataclass(frozen=True)
+class SIMDRAMConfig:
+    """A SIMDRAM:X configuration (X = banks computing in parallel)."""
+
+    banks: int = 16
+    accumulator_bits: int = 64
+    ternary: bool = True
+    geometry: DRAMGeometry = DDR5_4400
+    timing: TimingParams = DDR5_4400_TIMING
+    energy: EnergyModel = DDR5_ENERGY
+
+
+class SIMDRAMModel:
+    """AAP-count/latency/energy model for SIMDRAM masked accumulation."""
+
+    def __init__(self, config: SIMDRAMConfig = SIMDRAMConfig()):
+        self.config = config
+
+    def ops_per_input(self) -> float:
+        """Command sequences to accumulate one operand element.
+
+        One full-width RCA addition (plus carry-in clear); ternary
+        operands take an add pass and a subtract pass.
+        """
+        passes = 2 if self.config.ternary else 1
+        return passes * (rca_add_ops(self.config.accumulator_bits) + 1)
+
+    def gemm_aaps(self, m: int, n: int, k: int) -> float:
+        """Total command sequences for an M x N x K masked accumulation.
+
+        Work is column-tiled when N exceeds the rank-level row width;
+        sparsity does not reduce the count (no zero skipping).
+        """
+        row_bits = self.config.geometry.rank_row_bits
+        col_tiles = -(-n // row_bits)
+        return m * k * col_tiles * self.ops_per_input()

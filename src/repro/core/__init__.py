@@ -1,0 +1,23 @@
+"""Core Count2Multiply algorithms: Johnson-counter algebra, multi-digit
+counters with deferred carries, k-ary increment planning, IARM scheduling,
+counter addition, and analytical op-count models."""
+
+from repro.core.addition import add_counter_arrays, addition_masks
+from repro.core.counter import CapacityError, CounterArray, PendingOverflowError
+from repro.core.iarm import (CarryResolve, IARMScheduler, Increment,
+                             NaiveKaryScheduler, UnitScheduler, apply_events,
+                             schedule_stream)
+from repro.core.johnson import (all_states, decode, decode_lanes, encode,
+                                encode_lanes, is_valid, step,
+                                transition_pattern)
+from repro.core.kary import DigitStep, fig7_patterns, value_steps
+
+__all__ = [
+    "add_counter_arrays", "addition_masks",
+    "CapacityError", "CounterArray", "PendingOverflowError",
+    "CarryResolve", "IARMScheduler", "Increment", "NaiveKaryScheduler",
+    "UnitScheduler", "apply_events", "schedule_stream",
+    "all_states", "decode", "decode_lanes", "encode", "encode_lanes",
+    "is_valid", "step", "transition_pattern",
+    "DigitStep", "fig7_patterns", "value_steps",
+]

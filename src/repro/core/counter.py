@@ -1,0 +1,230 @@
+"""Multi-digit high-radix counter golden model (paper Sec. 4.4).
+
+:class:`CounterArray` models a *vector* of D-digit radix-``2n`` counters --
+one per lane -- with the exact semantics the in-memory implementation
+provides:
+
+* each digit is a Johnson counter holding a value in ``[0, 2n - 1]``;
+* each digit carries a pending-overflow flag ``O_next`` (`+1`) or pending
+  underflow (`-1`, the ``O_sign`` row of Sec. 4.4), which extends the
+  digit's effective range to ``4n - 1`` (Sec. 4.5.2);
+* a digit with a pending flag **cannot** absorb a second wrap until the
+  flag is resolved into the next digit -- attempting to do so raises
+  :class:`PendingOverflowError`.  The IARM scheduler exists precisely to
+  issue resolutions before this can happen.
+
+The gate-level engine (``repro.engine``) is validated against this model.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.util import check_positive, digits_of
+
+__all__ = ["PendingOverflowError", "CapacityError", "CounterArray"]
+
+
+class PendingOverflowError(RuntimeError):
+    """A digit wrapped while its O_next flag was already set.
+
+    In hardware this would silently lose a carry; the golden model makes
+    it a hard error so schedulers are forced to resolve in time.
+    """
+
+
+class CapacityError(RuntimeError):
+    """The most significant digit overflowed (counter capacity exceeded)."""
+
+
+class CounterArray:
+    """Vector of multi-digit Johnson counters with deferred carries.
+
+    Parameters
+    ----------
+    n_bits:
+        Bits per Johnson digit; the digit radix is ``2 * n_bits``.
+    n_digits:
+        Number of digits per counter (LSD first).
+    n_lanes:
+        Number of independent counters (columns in the subarray).
+    wrap:
+        If True, overflow out of the MSD wraps silently (modular
+        arithmetic); if False it raises :class:`CapacityError`.
+    """
+
+    def __init__(self, n_bits: int, n_digits: int, n_lanes: int,
+                 wrap: bool = False):
+        self.n_bits = check_positive(n_bits, "n_bits")
+        self.n_digits = check_positive(n_digits, "n_digits")
+        self.n_lanes = check_positive(n_lanes, "n_lanes")
+        self.radix = 2 * self.n_bits
+        self.wrap = bool(wrap)
+        self.values = np.zeros((self.n_digits, self.n_lanes), dtype=np.int64)
+        self.pending = np.zeros((self.n_digits, self.n_lanes), dtype=np.int8)
+
+    # ------------------------------------------------------------------
+    # capacity helpers
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        """Largest representable value + 1 (``radix ** n_digits``)."""
+        return self.radix ** self.n_digits
+
+    @classmethod
+    def for_capacity(cls, n_bits: int, capacity: int, n_lanes: int,
+                     wrap: bool = False) -> "CounterArray":
+        """Build a counter array sized to hold values up to ``capacity``.
+
+        Mirrors the paper's sizing rule (footnote 4): add digits until
+        ``(2n)**D >= capacity``.
+        """
+        radix = 2 * n_bits
+        n_digits = 1
+        while radix ** n_digits < capacity:
+            n_digits += 1
+        return cls(n_bits, n_digits, n_lanes, wrap=wrap)
+
+    # ------------------------------------------------------------------
+    # state access
+    # ------------------------------------------------------------------
+    def _full_mask(self, mask) -> np.ndarray:
+        if mask is None:
+            return np.ones(self.n_lanes, dtype=bool)
+        mask = np.asarray(mask).astype(bool)
+        if mask.shape != (self.n_lanes,):
+            raise ValueError(
+                f"mask shape {mask.shape} != ({self.n_lanes},)")
+        return mask
+
+    def totals(self) -> List[int]:
+        """Reconstruct each lane's exact value (including pending flags).
+
+        Returned as Python ints because 64-bit-capacity counters overflow
+        int64 at the top of their range.
+        """
+        out = []
+        for lane in range(self.n_lanes):
+            total = 0
+            weight = 1
+            for d in range(self.n_digits):
+                total += int(self.values[d, lane]) * weight
+                # A pending flag on digit d is worth one unit of digit d+1.
+                total += int(self.pending[d, lane]) * weight * self.radix
+                weight *= self.radix
+            out.append(total)
+        return out
+
+    def set_totals(self, totals: Sequence[int]) -> None:
+        """Load exact values (clears pending flags)."""
+        if len(totals) != self.n_lanes:
+            raise ValueError("totals length must equal n_lanes")
+        self.pending[:] = 0
+        for lane, t in enumerate(totals):
+            t = int(t)
+            if not 0 <= t < self.capacity:
+                raise ValueError(f"value {t} out of range for capacity "
+                                 f"{self.capacity}")
+            for d, digit in enumerate(digits_of(t, self.radix,
+                                                self.n_digits)):
+                self.values[d, lane] = digit
+
+    # ------------------------------------------------------------------
+    # digit-level operations (what the hardware μPrograms implement)
+    # ------------------------------------------------------------------
+    def increment_digit(self, digit: int, k: int,
+                        mask: Optional[np.ndarray] = None) -> np.ndarray:
+        """k-ary step on one digit of every masked lane.
+
+        ``k`` may be negative (decrement).  Returns the boolean lane vector
+        of wraps that occurred (new pending flags).  Raises
+        :class:`PendingOverflowError` if a wrap hits a digit whose flag is
+        already set in the same direction, and :class:`CapacityError` on
+        MSD wraps when ``wrap=False``.
+        """
+        if not -(self.radix - 1) <= k <= self.radix - 1:
+            raise ValueError(f"|k| must be < radix ({self.radix}), got {k}")
+        mask = self._full_mask(mask)
+        if k == 0:
+            return np.zeros(self.n_lanes, dtype=bool)
+        raw = self.values[digit] + k
+        wrapped_up = mask & (raw >= self.radix)
+        wrapped_dn = mask & (raw < 0)
+        wrapped = wrapped_up | wrapped_dn
+        direction = 1 if k > 0 else -1
+
+        same_dir_pending = wrapped & (self.pending[digit] == direction)
+        if same_dir_pending.any():
+            raise PendingOverflowError(
+                f"digit {digit} wrapped twice without carry resolution in "
+                f"{int(same_dir_pending.sum())} lane(s)")
+        if digit == self.n_digits - 1 and wrapped.any() and not self.wrap:
+            raise CapacityError("most significant digit overflowed")
+
+        self.values[digit][mask] = raw[mask] % self.radix
+        if digit < self.n_digits - 1:
+            # Opposite-direction pendings cancel; fresh wraps set the flag.
+            self.pending[digit][wrapped] += direction
+        return wrapped
+
+    def resolve_digit(self, digit: int) -> np.ndarray:
+        """Ripple digit ``digit``'s pending flags into digit ``digit + 1``.
+
+        This is the "digit-wise carry ripple" of footnote 3: a unit
+        increment of the next digit using O_next as the mask.  Returns the
+        lanes whose flag was consumed.  The target digit may itself wrap;
+        callers that need a fully-resolved counter use
+        :meth:`resolve_all`.
+        """
+        if digit >= self.n_digits - 1:
+            raise ValueError("MSD has no higher digit to ripple into")
+        for direction in (+1, -1):
+            lanes = self.pending[digit] == direction
+            if lanes.any():
+                self.increment_digit(digit + 1, direction, mask=lanes)
+                self.pending[digit][lanes] = 0
+        return self.pending[digit] == 0
+
+    def resolve_all(self) -> None:
+        """Resolve every pending flag (read-out barrier).
+
+        Resolves from the most significant digit downward so each ripple
+        lands on an already-clean digit; repeats until quiescent because a
+        resolution can create a new flag one digit up.
+        """
+        for _ in range(self.n_digits + 1):
+            if not self.pending.any():
+                return
+            for d in range(self.n_digits - 2, -1, -1):
+                if (self.pending[d] != 0).any():
+                    self.resolve_digit(d)
+        if self.pending.any():  # pragma: no cover - defensive
+            raise RuntimeError("carry resolution did not converge")
+
+    # ------------------------------------------------------------------
+    # value-level operations (host-side broadcast semantics)
+    # ------------------------------------------------------------------
+    def add_value(self, value: int, mask: Optional[np.ndarray] = None,
+                  policy: str = "ripple") -> None:
+        """Accumulate ``value`` into every masked lane.
+
+        ``policy='ripple'`` fully resolves carries after every digit
+        increment (the naive baseline of Sec. 4.4/4.5.1); ``policy='defer'``
+        leaves pending flags for an external scheduler (IARM) and raises if
+        a double-wrap would occur.
+        """
+        if policy not in ("ripple", "defer"):
+            raise ValueError(f"unknown carry policy {policy!r}")
+        negative = value < 0
+        digits = digits_of(abs(int(value)), self.radix)
+        if len(digits) > self.n_digits:
+            raise ValueError(f"|value| {value} exceeds counter capacity")
+        for d, digit_val in enumerate(digits):
+            if digit_val == 0:
+                continue
+            k = -digit_val if negative else digit_val
+            self.increment_digit(d, k, mask=mask)
+            if policy == "ripple":
+                self.resolve_all()

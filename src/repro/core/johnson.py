@@ -1,0 +1,328 @@
+"""Johnson (twisted-ring) counter algebra.
+
+This module is the *golden model* for everything Count2Multiply computes in
+memory.  It implements the state encoding from Sec. 2.4 of the paper, the
+variable-step (k-ary) transition patterns of Algorithm 1, and overflow /
+underflow detection.  All functions are pure and operate either on a single
+state (1-D bit vector, LSB first) or on a *lane array* of shape
+``[n_bits, n_lanes]`` holding one counter per column -- exactly the layout
+the DRAM subarray uses (one memory row per counter bit, one counter per
+bitline).
+
+State encoding (n = 5, radix 10), printed LSB-first as in the paper:
+
+    10000 (1) -> 11000 (2) -> ... -> 11111 (5) -> 01111 (6) -> ...
+    -> 00001 (9) -> 00000 (0)
+
+so for value ``v <= n`` the lowest ``v`` bits are ones, and for ``v > n``
+the top ``n - (v - n)`` bits are ones.  An n-bit Johnson counter encodes
+``2n`` states (radix ``2n``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import gcd
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from repro.util import as_bit_array
+
+__all__ = [
+    "encode",
+    "decode",
+    "decode_lanes",
+    "encode_lanes",
+    "is_valid",
+    "all_states",
+    "successor_value",
+    "BitSource",
+    "TransitionPattern",
+    "transition_pattern",
+    "apply_pattern",
+    "step",
+    "overflow_after_step",
+    "underflow_after_step",
+]
+
+
+def encode(value: int, n_bits: int) -> np.ndarray:
+    """Encode ``value`` (mod ``2 * n_bits``) as an n-bit JC state.
+
+    Returns a uint8 vector, index 0 = LSB.
+    """
+    if n_bits < 1:
+        raise ValueError("n_bits must be >= 1")
+    radix = 2 * n_bits
+    v = int(value) % radix
+    bits = np.zeros(n_bits, dtype=np.uint8)
+    if v <= n_bits:
+        bits[:v] = 1
+    else:
+        bits[v - n_bits:] = 1
+    return bits
+
+
+def decode(bits, strict: bool = True) -> int:
+    """Decode an n-bit JC state back to its value in ``[0, 2n - 1]``.
+
+    Raises ValueError on states that are not valid Johnson codes unless
+    ``strict=False``, in which case the popcount-based rule is applied
+    anyway -- this models what a faulty counter reads back as, and is
+    what the fault-impact studies (Figs. 4/17) use.
+    """
+    arr = as_bit_array(bits)
+    if strict and not is_valid(arr):
+        raise ValueError(f"invalid Johnson state {arr.tolist()}")
+    n = arr.size
+    ones = int(arr.sum())
+    if ones == 0:
+        return 0
+    # LSB set -> value is the popcount; LSB clear -> wrapped segment.
+    if arr[0]:
+        return ones
+    return 2 * n - ones
+
+
+def is_valid(bits) -> bool:
+    """True iff ``bits`` is one of the 2n valid Johnson states.
+
+    A valid state is a (possibly empty) run of ones that either starts at
+    the LSB or ends at the MSB -- i.e. one contiguous block with no wrap
+    except through the all-zero boundary.
+    """
+    arr = as_bit_array(bits)
+    n = arr.size
+    ones = int(arr.sum())
+    if ones == 0:
+        return True
+    idx = np.flatnonzero(arr)
+    contiguous = bool(idx[-1] - idx[0] + 1 == ones)
+    if not contiguous:
+        return False
+    return bool(idx[0] == 0 or idx[-1] == n - 1)
+
+
+def all_states(n_bits: int) -> Iterator[Tuple[int, np.ndarray]]:
+    """Yield ``(value, state)`` for every valid state of an n-bit JC."""
+    for v in range(2 * n_bits):
+        yield v, encode(v, n_bits)
+
+
+def successor_value(value: int, k: int, n_bits: int) -> Tuple[int, bool]:
+    """Arithmetic reference for a k-ary step.
+
+    Returns ``(new_value, carry)`` where ``carry`` is True when the step
+    wrapped past the counter capacity (overflow for ``k > 0``, underflow
+    for ``k < 0``).
+    """
+    radix = 2 * n_bits
+    raw = int(value) + int(k)
+    return raw % radix, not (0 <= raw < radix)
+
+
+def encode_lanes(values, n_bits: int) -> np.ndarray:
+    """Encode a vector of values into a ``[n_bits, n_lanes]`` lane array."""
+    values = np.asarray(values, dtype=np.int64)
+    lanes = np.zeros((n_bits, values.size), dtype=np.uint8)
+    for lane, v in enumerate(values):
+        lanes[:, lane] = encode(int(v), n_bits)
+    return lanes
+
+
+def decode_lanes(lanes: np.ndarray, strict: bool = True) -> np.ndarray:
+    """Decode a ``[n_bits, n_lanes]`` lane array to a vector of values."""
+    lanes = np.asarray(lanes)
+    return np.array(
+        [decode(lanes[:, i], strict=strict) for i in range(lanes.shape[1])],
+        dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class BitSource:
+    """Where new bit ``dst`` comes from in a transition pattern.
+
+    ``dst <- (mask AND maybe-inverted old bit[src]) OR (NOT mask AND old
+    bit[dst])``.  ``inverted`` marks the twisted-ring feedback edge.
+    """
+
+    dst: int
+    src: int
+    inverted: bool
+
+
+@dataclass(frozen=True)
+class TransitionPattern:
+    """The full bit-level recipe for a k-ary JC step (paper Fig. 7 / Alg. 1).
+
+    Attributes
+    ----------
+    n_bits, k:
+        Counter size and (signed) step amount. ``k`` is normalized to
+        ``[-(2n-1), 2n-1]``.
+    assignments:
+        One :class:`BitSource` per bit, in an order that is safe for
+        *in-place* execution provided each permutation cycle's first source
+        is saved to a scratch row beforehand (see ``cycle_saves``).
+    cycle_saves:
+        Bit indices whose *old* value must be copied to scratch before the
+        in-place update begins (one per permutation cycle, ``gcd(n, |k| mod
+        n)`` of them; the MSB save doubles as the overflow operand).
+    """
+
+    n_bits: int
+    k: int
+    assignments: Tuple[BitSource, ...]
+    cycle_saves: Tuple[int, ...]
+
+
+def _shift_and_wrap(n: int, k: int) -> Tuple[int, bool, bool]:
+    """Return (shift s, invert_on_wrap, invert_on_plain) for a step of +k.
+
+    A step of ``+k`` maps new ``b[i] = old b[(i - s) mod n]`` with ``s = k
+    mod n``; whenever the index wraps, or always when ``k > n`` (complement
+    property: ``state(v + n) == ~state(v)``), the source is inverted.
+    """
+    if not 1 <= k <= 2 * n - 1:
+        raise ValueError(f"step must be in [1, {2 * n - 1}], got {k}")
+    if k <= n:
+        return k % n, True, False
+    return k - n, False, True
+
+
+def transition_pattern(n_bits: int, k: int) -> TransitionPattern:
+    """Build the in-place transition pattern for a step of ``k``.
+
+    Positive ``k`` increments (forward shift + inverted feedback), negative
+    ``k`` decrements (backward shift + inverted feed-forward).  ``k == 0``
+    yields an empty pattern.  The assignment order follows the permutation
+    cycles of the shift so that each source row is still intact when read;
+    this is what lets the in-memory implementation reuse a single scratch
+    row per cycle (Fig. 6b line 0 for the unit case).
+    """
+    n = int(n_bits)
+    radix = 2 * n
+    k_norm = int(k) % radix if k >= 0 else -((-int(k)) % radix)
+    if k_norm == 0:
+        return TransitionPattern(n, 0, (), ())
+
+    if k_norm > 0:
+        s, inv_wrap, inv_plain = _shift_and_wrap(n, k_norm)
+        direction = +1
+    else:
+        s, inv_wrap, inv_plain = _shift_and_wrap(n, -k_norm)
+        direction = -1
+
+    if s == 0:
+        # Pure complement (k == n or k == -n): independent per-bit flips.
+        assignments = tuple(
+            BitSource(dst=i, src=i, inverted=True) for i in range(n)
+        )
+        return TransitionPattern(n, k_norm, assignments, ())
+
+    # For +k, new[i] = old[(i - s) mod n]; for -k, new[i] = old[(i + s) mod n]
+    def source_of(i: int) -> Tuple[int, bool]:
+        if direction > 0:
+            src = i - s
+            wrapped = src < 0
+        else:
+            src = i + s
+            wrapped = src >= n
+        src %= n
+        return src, (inv_wrap if wrapped else inv_plain)
+
+    n_cycles = gcd(n, s)
+    assignments: List[BitSource] = []
+    saves: List[int] = []
+    for c in range(n_cycles):
+        # Start each cycle at the highest available index so the first
+        # cycle begins at the MSB -- its save is the O0 row of Fig. 6b.
+        start = n - 1 - c
+        saves.append(start)
+        i = start
+        while True:
+            src, inv = source_of(i)
+            assignments.append(BitSource(dst=i, src=src, inverted=inv))
+            if src == start:
+                break
+            i = src
+    return TransitionPattern(n, k_norm, tuple(assignments), tuple(saves))
+
+
+def apply_pattern(lanes: np.ndarray, pattern: TransitionPattern,
+                  mask: np.ndarray = None) -> np.ndarray:
+    """Apply a transition pattern to a lane array, honoring a lane mask.
+
+    This mirrors exactly what the in-memory μProgram does: the update is
+    performed in place following the pattern's order, with each cycle's
+    first source saved to a scratch register first.  Lanes where ``mask``
+    is 0 are left untouched.
+    """
+    lanes = np.array(lanes, dtype=np.uint8, copy=True)
+    n, n_lanes = lanes.shape
+    if pattern.n_bits != n:
+        raise ValueError("pattern/lane width mismatch")
+    if mask is None:
+        mask = np.ones(n_lanes, dtype=np.uint8)
+    mask = np.asarray(mask, dtype=np.uint8)
+
+    scratch = {idx: lanes[idx].copy() for idx in pattern.cycle_saves}
+    consumed = set()
+    for a in pattern.assignments:
+        if a.src in scratch and a.src in consumed:
+            src_row = scratch[a.src]
+        else:
+            src_row = lanes[a.src]
+        val = (1 - src_row) if a.inverted else src_row
+        lanes[a.dst] = np.where(mask, val, lanes[a.dst])
+        consumed.add(a.dst)
+    return lanes
+
+
+def step(lanes: np.ndarray, k: int, mask: np.ndarray = None) -> np.ndarray:
+    """Convenience: apply a k-ary step to a lane array."""
+    return apply_pattern(lanes, transition_pattern(lanes.shape[0], k), mask)
+
+
+def overflow_after_step(old_msb: np.ndarray, new_msb: np.ndarray, k: int,
+                        n_bits: int, mask: np.ndarray = None) -> np.ndarray:
+    """Per-lane overflow flag for an increment of ``k`` (Alg. 1 lines 6/13).
+
+    * ``k <= n``:  overflow iff old MSB set and new MSB clear.
+    * ``k > n``:   overflow iff (old MSB set OR new MSB clear), masked.
+    """
+    old_msb = np.asarray(old_msb, dtype=np.uint8)
+    new_msb = np.asarray(new_msb, dtype=np.uint8)
+    if not 1 <= k <= 2 * n_bits - 1:
+        raise ValueError("overflow check needs 1 <= k <= 2n-1")
+    if mask is None:
+        mask = np.ones_like(old_msb)
+    mask = np.asarray(mask, dtype=np.uint8)
+    if k <= n_bits:
+        flag = old_msb & (1 - new_msb)
+    else:
+        flag = (old_msb | (1 - new_msb))
+    return (flag & mask).astype(np.uint8)
+
+
+def underflow_after_step(old_msb: np.ndarray, new_msb: np.ndarray, k: int,
+                         n_bits: int, mask: np.ndarray = None) -> np.ndarray:
+    """Per-lane underflow flag for a decrement of ``k`` (mirror of overflow).
+
+    Underflow is detected on the MSB transitioning 0 -> 1 for small steps
+    (Sec. 4.4: "the MSB transitions from zero to one"), with the same
+    masked disjunction trick for ``k > n``.
+    """
+    old_msb = np.asarray(old_msb, dtype=np.uint8)
+    new_msb = np.asarray(new_msb, dtype=np.uint8)
+    if not 1 <= k <= 2 * n_bits - 1:
+        raise ValueError("underflow check needs 1 <= k <= 2n-1")
+    if mask is None:
+        mask = np.ones_like(old_msb)
+    mask = np.asarray(mask, dtype=np.uint8)
+    if k <= n_bits:
+        flag = (1 - old_msb) & new_msb
+    else:
+        flag = ((1 - old_msb) | new_msb)
+    return (flag & mask).astype(np.uint8)

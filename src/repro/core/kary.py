@@ -1,0 +1,73 @@
+"""Host-side planning of k-ary increments (paper Sec. 4.5.1, Fig. 7).
+
+The host CPU unpacks each input value into base-``2n`` digits and emits one
+k-ary increment per *non-zero* digit (Sec. 5.1 step 2).  This module builds
+those plans and renders the Fig. 7 transition-pattern table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.johnson import TransitionPattern, transition_pattern
+from repro.util import digits_of
+
+__all__ = ["DigitStep", "value_steps", "steps_per_value",
+           "fig7_patterns", "render_fig7_row"]
+
+
+@dataclass(frozen=True)
+class DigitStep:
+    """A single k-ary increment of one counter digit.
+
+    ``k`` is signed: negative steps are decrements (backward shift with
+    inverted feed-forward).
+    """
+
+    digit: int
+    k: int
+
+
+def value_steps(value: int, radix: int, n_digits: int = None) -> List[DigitStep]:
+    """Decompose ``value`` into the k-ary steps the MCU broadcasts.
+
+    Only non-zero digits produce steps (zero-skipping, Sec. 7.2.3), least
+    significant digit first.  Negative values yield negative ``k``.
+
+    >>> value_steps(45, 10)
+    [DigitStep(digit=0, k=5), DigitStep(digit=1, k=4)]
+    """
+    sign = -1 if value < 0 else 1
+    digits = digits_of(abs(int(value)), radix, n_digits)
+    return [DigitStep(digit=d, k=sign * dv)
+            for d, dv in enumerate(digits) if dv != 0]
+
+
+def steps_per_value(value: int, radix: int) -> int:
+    """Number of k-ary increments an input value triggers (nnz digits)."""
+    return len(value_steps(value, radix))
+
+
+def fig7_patterns(n_bits: int) -> Dict[int, TransitionPattern]:
+    """All increment patterns ``+1 .. +(2n-1)`` for an n-bit JC (Fig. 7)."""
+    return {k: transition_pattern(n_bits, k)
+            for k in range(1, 2 * n_bits)}
+
+
+def render_fig7_row(n_bits: int, k: int) -> List[Tuple[str, str, bool]]:
+    """Render one Fig. 7 panel as ``(dst_label, src_label, inverted)`` rows.
+
+    Bit index 0 is labelled ``LSB``, index ``n-1`` ``MSB`` and intermediate
+    bits ``LSB+i``, matching the figure's axis labels.
+    """
+    def label(i: int) -> str:
+        if i == 0:
+            return "LSB"
+        if i == n_bits - 1:
+            return "MSB"
+        return f"LSB+{i}"
+
+    pattern = transition_pattern(n_bits, k)
+    return [(label(a.dst), label(a.src), a.inverted)
+            for a in pattern.assignments]

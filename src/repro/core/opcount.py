@@ -1,0 +1,183 @@
+"""Analytical CIM operation-count models (paper Secs. 4.2-4.6, 6.3).
+
+All formulas count *memory command sequences* -- ``AAP``/``AP`` for Ambit,
+read/logic/write primitives for the NVM backends -- per counter-digit
+step.  They are cross-checked in the test suite against the lengths of the
+actual executable μPrograms in :mod:`repro.isa.templates`.
+
+Published constants reproduced here:
+
+=====================  =======================================  =========
+quantity               formula                                  source
+=====================  =======================================  =========
+k-ary increment        ``7n + 7``  (7 per bit + save + overflow) Sec. 4.5.1
+protected increment    ``13n + 16`` / ``23n + 26`` / ``33n + 36`` Tab. 1
+(Ambit, r FR checks)   ``(5r + 3)n + 5r + 6``
+Pinatubo counting      ``3n + 4``  (+3 overflow)                 Sec. 4.6
+MAGIC (NOR) counting   ``6n + 4``  incl. overflow (optimized)    Sec. 4.6
+RCA full adder         ``RCA_OPS_PER_BIT`` per accumulator bit   Sec. 3
+=====================  =======================================  =========
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from repro.core.iarm import BaseScheduler, CarryResolve, Event, Increment
+from repro.util import check_positive
+
+__all__ = [
+    "AMBIT", "PINATUBO", "MAGIC",
+    "RCA_OPS_PER_BIT",
+    "increment_ops", "protected_increment_ops", "protected_op_formula",
+    "rca_add_ops", "event_ops", "schedule_ops",
+    "digits_for_capacity", "jc_bits_required", "binary_bits_required",
+    "mean_ops_per_value",
+]
+
+AMBIT = "ambit"
+PINATUBO = "pinatubo"
+MAGIC = "magic"
+
+_BACKENDS = (AMBIT, PINATUBO, MAGIC)
+
+#: AAP/AP sequences per bit of a MAJ-based bit-serial full adder
+#: (derived from the executable μProgram in ``repro.baselines.rca``:
+#: ``u = MAJ(a,b,~c)``, ``v = MAJ(a,b,c)``, ``sum = MAJ(c,u,~v)`` with
+#: compute-and-copy fusion -- 12 command sequences per bit).
+RCA_OPS_PER_BIT = 12
+
+
+def _check_backend(backend: str) -> str:
+    if backend not in _BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; pick from {_BACKENDS}")
+    return backend
+
+
+def increment_ops(n_bits: int, backend: str = AMBIT,
+                  with_overflow: bool = True) -> int:
+    """Operations for one (masked, k-ary) increment of an n-bit JC digit.
+
+    The Ambit count is the paper's ``7n + 7``: seven AAP/AP per bit
+    position, one setup save of the MSB, and six overflow-detection ops.
+    """
+    n = check_positive(n_bits, "n_bits")
+    _check_backend(backend)
+    if backend == AMBIT:
+        return 7 * n + 7 if with_overflow else 7 * n + 1
+    if backend == PINATUBO:
+        return 3 * n + 4 + (3 if with_overflow else 0)
+    # MAGIC: 6n + 4 including overflow checking (paper's optimized figure).
+    return 6 * n + 4 if with_overflow else 6 * n + 1
+
+
+def protected_op_formula(n_bits: int, fr_checks: int) -> int:
+    """Closed form ``(5r + 3)n + 5r + 6`` for the Tab. 1 Ambit row."""
+    n = check_positive(n_bits, "n_bits")
+    r = int(fr_checks)
+    if r < 1:
+        raise ValueError("fr_checks must be >= 1")
+    return (5 * r + 3) * n + 5 * r + 6
+
+
+def protected_increment_ops(n_bits: int, fr_checks: int = 2) -> int:
+    """Ops per increment with the ECC protection scheme of Sec. 6.
+
+    ``fr_checks`` of 2, 4, 6 reproduce Tab. 1's ``13n+16``, ``23n+26``,
+    ``33n+36``.
+    """
+    return protected_op_formula(n_bits, fr_checks)
+
+
+def rca_add_ops(accumulator_bits: int, backend: str = AMBIT) -> int:
+    """Ops for one bit-serial ripple-carry addition into a W-bit total.
+
+    RCA accumulation always walks the full accumulator width because the
+    carry can propagate to the top (Sec. 3), which is exactly the cost the
+    high-radix counters avoid.
+    """
+    w = check_positive(accumulator_bits, "accumulator_bits")
+    _check_backend(backend)
+    if backend == AMBIT:
+        return RCA_OPS_PER_BIT * w
+    if backend == PINATUBO:
+        return 6 * w  # AND/OR/NOT-based full adder, 6 primitives per bit
+    return 11 * w  # NOR-only full adder needs ~11 NOR levels per bit
+
+
+def event_ops(event: Event, n_bits: int, backend: str = AMBIT,
+              fr_checks: int = 0) -> int:
+    """Cost of one scheduler event.
+
+    A :class:`CarryResolve` is a masked unit increment of the next digit
+    (using O_next as the mask) plus one op to clear the flag row.
+    """
+    if fr_checks:
+        base = protected_increment_ops(n_bits, fr_checks)
+    else:
+        base = increment_ops(n_bits, backend)
+    if isinstance(event, Increment):
+        return base
+    if isinstance(event, CarryResolve):
+        return base + 1
+    raise TypeError(f"unknown event {event!r}")
+
+
+def schedule_ops(events: Iterable[Event], n_bits: int,
+                 backend: str = AMBIT, fr_checks: int = 0) -> int:
+    """Total ops for a list (or list-of-lists) of scheduler events."""
+    total = 0
+    for ev in events:
+        if isinstance(ev, (list, tuple)):
+            total += schedule_ops(ev, n_bits, backend, fr_checks)
+        else:
+            total += event_ops(ev, n_bits, backend, fr_checks)
+    return total
+
+
+def digits_for_capacity(n_bits: int, capacity: int) -> int:
+    """Digits needed so ``(2n)**D >= capacity`` (paper footnote 4)."""
+    radix = 2 * check_positive(n_bits, "n_bits")
+    if capacity < 2:
+        return 1
+    return max(1, math.ceil(math.log(capacity) / math.log(radix) - 1e-12))
+
+
+def jc_bits_required(radix: int, capacity: int) -> int:
+    """Storage bits for a JC counter of given radix and capacity (Fig. 19).
+
+    ``radix`` must be even (radix = 2n); the count excludes the O_next
+    rows, matching the figure.
+    """
+    if radix % 2 or radix < 2:
+        raise ValueError("Johnson radix must be even and >= 2")
+    n_bits = radix // 2
+    return digits_for_capacity(n_bits, capacity) * n_bits
+
+
+def binary_bits_required(capacity: int) -> int:
+    """Storage bits for a plain binary counter of the same capacity."""
+    if capacity < 2:
+        return 1
+    return math.ceil(math.log2(capacity) - 1e-12)
+
+
+def mean_ops_per_value(scheduler_factory, values: Sequence[int],
+                       n_bits: int, n_digits: int, backend: str = AMBIT,
+                       fr_checks: int = 0) -> float:
+    """Average ops per input over a stream, including the final flush.
+
+    ``scheduler_factory(n_bits, n_digits)`` builds a fresh scheduler (see
+    :mod:`repro.core.iarm`); the stream is scheduled once and the flush
+    amortized over the inputs, which is how Fig. 8 reports its averages.
+    """
+    scheduler: BaseScheduler = scheduler_factory(n_bits, n_digits)
+    total = 0
+    for v in values:
+        total += schedule_ops(scheduler.schedule_value(int(v)), n_bits,
+                              backend, fr_checks)
+    total += schedule_ops(scheduler.flush(), n_bits, backend, fr_checks)
+    if not len(values):
+        raise ValueError("empty value stream")
+    return total / len(values)

@@ -1,0 +1,46 @@
+"""DRAM command vocabulary (Sec. 2.1).
+
+The μProgram layer (``repro.isa``) deals in AAP/AP sequences; this module
+expands those into the primitive ACT/PRE commands a memory controller
+actually issues, which is what the event-driven scheduler times and what
+the energy model charges for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List
+
+__all__ = ["CommandKind", "Command", "expand_aap", "expand_ap"]
+
+
+class CommandKind(Enum):
+    """Primitive DRAM bus commands."""
+
+    ACT = "ACT"
+    PRE = "PRE"
+    RD = "RD"
+    WR = "WR"
+
+
+@dataclass(frozen=True)
+class Command:
+    """One DRAM command addressed to a bank (row encoded as a string)."""
+
+    kind: CommandKind
+    bank: int
+    row: str = ""
+
+
+def expand_aap(bank: int, src: str, dst: str) -> List[Command]:
+    """ACT(src), ACT(dst), PRE -- the AAP sequence of RowClone/Ambit."""
+    return [Command(CommandKind.ACT, bank, src),
+            Command(CommandKind.ACT, bank, dst),
+            Command(CommandKind.PRE, bank)]
+
+
+def expand_ap(bank: int, address: str) -> List[Command]:
+    """ACT(multi-row address), PRE -- the in-place compute sequence."""
+    return [Command(CommandKind.ACT, bank, address),
+            Command(CommandKind.PRE, bank)]

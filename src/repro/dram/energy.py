@@ -1,0 +1,72 @@
+"""Energy, power and area model for in-DRAM CIM (Sec. 7 metrics).
+
+All in-DRAM designs (Count2Multiply and the SIMDRAM baseline) share these
+constants, so GOPS/Watt and GOPS/mm² ratios between them reduce to their
+command counts -- which is exactly how the paper's comparisons work.  The
+absolute values are calibration constants assembled from public DDR5
+datasheet figures and the Ambit/RowClone papers; DESIGN.md Sec. 5 records
+this substitution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.geometry import DDR5_4400, DRAMGeometry
+
+__all__ = ["EnergyModel", "DDR5_ENERGY"]
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """DRAM-module energy/area constants.
+
+    Attributes
+    ----------
+    e_act_nj / e_pre_nj:
+        Energy of one rank-level activation / precharge (all chips in
+        lockstep, 8 kB row).
+    background_w:
+        Static + refresh power of the active rank.
+    chip_area_mm2:
+        Die area of one 4 Gb DDR5 device.
+    cim_area_overhead:
+        Fractional area added by the CIM row decoder (Ambit reports <1%).
+    """
+
+    e_act_nj: float = 1.4
+    e_pre_nj: float = 0.7
+    background_w: float = 0.35
+    chip_area_mm2: float = 45.0
+    cim_area_overhead: float = 0.01
+    geometry: DRAMGeometry = DDR5_4400
+
+    @property
+    def e_aap_nj(self) -> float:
+        """Energy of one AAP (two ACTs + one PRE on a rank-level row)."""
+        return 2 * self.e_act_nj + self.e_pre_nj
+
+    @property
+    def e_ap_nj(self) -> float:
+        """Energy of one AP (one multi-row ACT + PRE)."""
+        return self.e_act_nj + self.e_pre_nj
+
+    def energy_for_aaps_j(self, n_aaps: int, elapsed_s: float = 0.0) -> float:
+        """Total energy: dynamic AAP energy plus background for the run."""
+        return n_aaps * self.e_aap_nj * 1e-9 + self.background_w * elapsed_s
+
+    def average_power_w(self, n_aaps: int, elapsed_s: float) -> float:
+        """Average power while issuing ``n_aaps`` over ``elapsed_s``."""
+        if elapsed_s <= 0:
+            raise ValueError("elapsed time must be positive")
+        return self.energy_for_aaps_j(n_aaps, elapsed_s) / elapsed_s
+
+    def module_area_mm2(self) -> float:
+        """Area of the compute-capable module (data + ECC chips + CIM)."""
+        chips = (self.geometry.chips_per_rank
+                 + self.geometry.ecc_chips_per_rank)
+        return chips * self.chip_area_mm2 * (1.0 + self.cim_area_overhead)
+
+
+#: Shared constants for every in-DRAM configuration in the evaluation.
+DDR5_ENERGY = EnergyModel()

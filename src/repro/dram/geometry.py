@@ -1,0 +1,72 @@
+"""DRAM organization model (paper Sec. 2.1, Tab. 2).
+
+The evaluated system is a DDR5-4400 module: 1 channel, 1 rank, 8 data
+devices plus one ECC device, 4 Gb chips with 32 banks, 1 kB rows per chip
+(so an 8 kB rank-level row), and 1024 rows per subarray.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util import check_positive
+
+__all__ = ["DRAMGeometry", "DDR5_4400"]
+
+
+@dataclass(frozen=True)
+class DRAMGeometry:
+    """Static organization of one memory channel.
+
+    Attributes mirror Fig. 2's hierarchy; helper properties derive the
+    rank-level quantities the CIM mapping cares about (how many counters
+    fit in one subarray row, how many rows a subarray offers for data).
+    """
+
+    channels: int = 1
+    ranks_per_channel: int = 1
+    chips_per_rank: int = 8
+    ecc_chips_per_rank: int = 1
+    banks_per_rank: int = 32
+    subarrays_per_bank: int = 32
+    rows_per_subarray: int = 1024
+    row_bytes_per_chip: int = 1024
+    chip_capacity_gbit: int = 4
+
+    def __post_init__(self):
+        for field in ("channels", "ranks_per_channel", "chips_per_rank",
+                      "banks_per_rank", "subarrays_per_bank",
+                      "rows_per_subarray", "row_bytes_per_chip",
+                      "chip_capacity_gbit"):
+            check_positive(getattr(self, field), field)
+
+    @property
+    def rank_row_bytes(self) -> int:
+        """Bytes in one rank-level row (all data chips in lockstep)."""
+        return self.row_bytes_per_chip * self.chips_per_rank
+
+    @property
+    def rank_row_bits(self) -> int:
+        """Bitlines spanned by one rank-level row = CIM lanes available."""
+        return self.rank_row_bytes * 8
+
+    @property
+    def total_banks(self) -> int:
+        return (self.channels * self.ranks_per_channel
+                * self.banks_per_rank)
+
+    def ambit_data_rows(self, b_group_rows: int = 8,
+                        c_group_rows: int = 2) -> int:
+        """D-group rows available per subarray (Sec. 2.2: ``r - 10``)."""
+        reserved = b_group_rows + c_group_rows
+        if reserved >= self.rows_per_subarray:
+            raise ValueError("subarray too small for Ambit row groups")
+        return self.rows_per_subarray - reserved
+
+    def counters_per_subarray_row(self) -> int:
+        """One Johnson counter per bitline of the rank-level row."""
+        return self.rank_row_bits
+
+
+#: The configuration of paper Tab. 2.
+DDR5_4400 = DRAMGeometry()

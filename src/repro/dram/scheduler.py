@@ -1,0 +1,103 @@
+"""Event-driven DRAM command scheduler for CIM μPrograms (Sec. 7.2.1).
+
+The analytical model in :mod:`repro.dram.timing` gives closed-form AAP
+rates; this module *derives* them by replaying the command stream against
+the timing constraints: per-bank row-cycle occupancy (an AAP holds its
+bank for ``tAAP`` and the next AAP on that bank waits an extra ``tRRD``),
+inter-burst spacing (``tRRD``), and the rank-level four-activation window
+(``tFAW``).  Following Sec. 7.2.1's accounting, each AAP's internal
+back-to-back activations count as a single rank-level activation burst.
+AAPs from different banks interleave exactly as an FR-FCFS controller
+would issue them.  The tests assert that the event model and the closed
+form agree, which is our substitute for validating against NVMain/RTSim
+(DESIGN.md Sec. 5).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Sequence
+
+from repro.dram.timing import DDR5_4400_TIMING, TimingParams
+
+__all__ = ["AAPRecord", "CommandScheduler"]
+
+
+@dataclass
+class AAPRecord:
+    """Issue/finish times of one scheduled AAP (for inspection/tests)."""
+
+    bank: int
+    issue_ns: float
+    finish_ns: float
+
+
+class CommandScheduler:
+    """Replays AAP command streams under DDR timing constraints."""
+
+    def __init__(self, timing: TimingParams = DDR5_4400_TIMING):
+        self.timing = timing
+
+    # ------------------------------------------------------------------
+    def schedule(self, aaps_per_bank: Sequence[int]) -> List[AAPRecord]:
+        """Schedule ``aaps_per_bank[b]`` AAPs on each bank; returns records.
+
+        At every step the eligible AAP with the earliest issue time wins
+        (ties to the lower bank id), subject to tRRD spacing and the tFAW
+        sliding window shared by all banks of the rank.
+        """
+        t = self.timing
+        pending = [int(n) for n in aaps_per_bank]
+        bank_ready = [0.0] * len(pending)
+        act_times: Deque[float] = deque(maxlen=4)
+        last_act = -1e18
+        records: List[AAPRecord] = []
+
+        remaining = sum(pending)
+        while remaining > 0:
+            rank_ready = last_act + t.t_rrd
+            if len(act_times) == 4:
+                rank_ready = max(rank_ready, act_times[0] + t.t_faw)
+
+            best = None
+            best_time = None
+            for idx, left in enumerate(pending):
+                if left <= 0:
+                    continue
+                candidate = max(bank_ready[idx], rank_ready)
+                # Earliest issue wins; ties go to the longest queue so no
+                # bank starves (FR-FCFS-style fairness).
+                if (best_time is None or candidate < best_time - 1e-9
+                        or (abs(candidate - best_time) <= 1e-9
+                            and left > pending[best])):
+                    best, best_time = idx, candidate
+
+            act_times.append(best_time)
+            last_act = best_time
+            finish = best_time + t.t_aap
+            records.append(AAPRecord(bank=best, issue_ns=best_time,
+                                     finish_ns=finish))
+            # Back-to-back AAPs on one bank: tAAP + tRRD apart (7.2.1).
+            bank_ready[best] = finish + t.t_rrd
+            pending[best] -= 1
+            remaining -= 1
+        return records
+
+    # ------------------------------------------------------------------
+    def issue_aaps(self, n_aaps: int, n_banks: int) -> float:
+        """Makespan of ``n_aaps`` AAPs distributed round-robin over banks."""
+        if n_aaps <= 0:
+            return 0.0
+        counts = [n_aaps // n_banks + (1 if b < n_aaps % n_banks else 0)
+                  for b in range(n_banks)]
+        records = self.schedule(counts)
+        return max(r.finish_ns for r in records)
+
+    def steady_state_period(self, n_banks: int, probe: int = 256) -> float:
+        """Measured steady-state AAP period (compare with the closed form)."""
+        counts = [max(1, probe // n_banks)] * n_banks
+        records = self.schedule(counts)
+        finishes = sorted(r.finish_ns for r in records)
+        half = len(finishes) // 2
+        return (finishes[-1] - finishes[half]) / (len(finishes) - half - 1)

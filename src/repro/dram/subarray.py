@@ -1,0 +1,142 @@
+"""Bit-level DRAM subarray with multi-row activation (Secs. 2.1-2.2).
+
+Models one subarray as a matrix of cells plus a row buffer.  The two
+operations CIM needs are:
+
+* ``activate(wordlines)`` -- drive the selected wordlines; the sensed
+  bitline value is the *majority* of the connected cells (charge
+  sharing), and -- destructively -- every activated cell is overwritten
+  with the sensed value;
+* ``precharge()`` -- close the row, restoring the bitlines.
+
+Dual-contact cells (DCCs) are supported through *port polarity*: a
+negated port reads/writes the complement of the stored cell value, which
+is how Ambit realizes NOT at zero extra cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.dram.faults import FAULT_FREE, FaultModel
+
+__all__ = ["Port", "Subarray"]
+
+
+@dataclass(frozen=True)
+class Port:
+    """A wordline: which physical row it drives and with what polarity."""
+
+    row: int
+    negated: bool = False
+
+
+class Subarray:
+    """A 2-D array of DRAM cells addressable by wordline ports.
+
+    Parameters
+    ----------
+    n_rows, n_cols:
+        Physical dimensions (rows x bitlines).
+    fault_model:
+        Injected on every sense; multi-row activations use the CIM rate.
+    """
+
+    def __init__(self, n_rows: int, n_cols: int,
+                 fault_model: FaultModel = FAULT_FREE):
+        if n_rows < 1 or n_cols < 1:
+            raise ValueError("subarray dimensions must be positive")
+        self.n_rows = n_rows
+        self.n_cols = n_cols
+        self.cells = np.zeros((n_rows, n_cols), dtype=np.uint8)
+        self.fault_model = fault_model
+        self.row_buffer = np.zeros(n_cols, dtype=np.uint8)
+        self.precharged = True
+        self.activations = 0
+        self.multi_row_activations = 0
+
+    # ------------------------------------------------------------------
+    def _read_port(self, port: Port) -> np.ndarray:
+        value = self.cells[port.row]
+        return (1 - value) if port.negated else value
+
+    def _write_port(self, port: Port, bitline: np.ndarray) -> None:
+        self.cells[port.row] = (1 - bitline) if port.negated else bitline
+
+    # ------------------------------------------------------------------
+    def activate(self, ports: Sequence[Port]) -> np.ndarray:
+        """Drive ``ports`` simultaneously; returns the sensed bitline.
+
+        For a single port this is a normal (refreshing) row activation.
+        For multiple ports the sensed value is the bitwise majority of
+        the connected cell values (as seen through each port's polarity),
+        with ties impossible because CIM activations use odd row counts
+        or copy-style overwrites (see :meth:`overdrive`).  The sensed
+        value -- possibly corrupted by the fault model -- is written back
+        into every activated cell: multi-row activation is destructive.
+        """
+        if not self.precharged:
+            raise RuntimeError("activate issued without precharge")
+        if not ports:
+            raise ValueError("activate needs at least one wordline")
+        values = np.stack([self._read_port(p) for p in ports])
+        contested = None
+        if len(ports) == 1:
+            sensed = values[0]
+        else:
+            if len(ports) % 2 == 0:
+                raise ValueError(
+                    "simultaneous activation needs an odd row count for a "
+                    "defined majority; use overdrive() for copies")
+            ones = values.sum(axis=0)
+            sensed = (ones * 2 > len(ports)).astype(np.uint8)
+            # Unanimous columns keep a full sensing margin (Sec. 6.1).
+            contested = (ones != 0) & (ones != len(ports))
+        sensed = self.fault_model.corrupt(sensed, multi_row=len(ports) > 1,
+                                          contested=contested)
+        for p in ports:
+            self._write_port(p, sensed)
+        self.row_buffer = sensed.copy()
+        self.precharged = False
+        self.activations += 1
+        if len(ports) > 1:
+            self.multi_row_activations += 1
+        return sensed.copy()
+
+    def overdrive(self, ports: Sequence[Port], bitline: np.ndarray) -> None:
+        """Second activation of an AAP: the driven bitline overwrites cells.
+
+        The row buffer's sense amplifiers are already latched to
+        ``bitline`` (from the first activation), so activating more
+        wordlines overdrives those cells to the latched value (RowClone
+        semantics, Sec. 2.2).
+        """
+        bitline = np.asarray(bitline, dtype=np.uint8)
+        if bitline.shape != (self.n_cols,):
+            raise ValueError("bitline width mismatch")
+        for p in ports:
+            self._write_port(p, bitline)
+        self.activations += 1
+
+    def precharge(self) -> None:
+        """Close the row; required before the next activation."""
+        self.precharged = True
+
+    # ------------------------------------------------------------------
+    def read_row(self, row: int) -> np.ndarray:
+        """Debug/host access to a physical row (non-destructive copy)."""
+        return self.cells[row].copy()
+
+    def write_row(self, row: int, values: np.ndarray) -> None:
+        """Host-side write (via the normal WR path)."""
+        values = np.asarray(values, dtype=np.uint8)
+        if values.shape != (self.n_cols,):
+            raise ValueError("row width mismatch")
+        self.cells[row] = values
+
+    def stats(self) -> Tuple[int, int]:
+        """(total activations, multi-row activations) since construction."""
+        return self.activations, self.multi_row_activations

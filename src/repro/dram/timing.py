@@ -1,0 +1,106 @@
+"""DDR timing parameters and the AAP/AP latency model (Secs. 2.1, 7.2.1).
+
+Latency for in-DRAM CIM is governed by a handful of timing constraints:
+
+* ``tAAP = tRAS + tRP + 4 tCK`` -- one activate-activate-precharge
+  sequence (the paper's parenthetical in Sec. 7.2.1);
+* ``tRRD`` -- minimum spacing between ACT commands to different banks;
+* ``tFAW`` -- a rolling window admitting at most four ACTs per rank.
+
+With one bank, consecutive AAPs are ``tAAP + tRRD`` apart.  With four
+banks, four AAPs overlap within that window.  With sixteen banks the ACT
+issue rate saturates at four ACTs per ``tFAW``, which is shorter than
+``tAAP`` -- reproducing the diminishing-returns behavior of Fig. 15.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TimingParams", "DDR5_4400_TIMING", "aap_period_ns",
+           "time_for_aaps_ns"]
+
+
+@dataclass(frozen=True)
+class TimingParams:
+    """DRAM timing constraints in nanoseconds."""
+
+    t_ck: float = 0.4545        # DDR5-4400: 2200 MHz clock
+    t_rcd: float = 14.545       # ACT -> column command
+    t_rp: float = 14.545        # PRE -> ACT
+    t_ras: float = 32.0         # ACT -> PRE (row active time)
+    t_rrd: float = 3.636        # ACT -> ACT, different banks (8 tCK)
+    t_faw: float = 14.5         # four-activation window (paper Sec. 7.2.2)
+    t_refi: float = 3900.0      # average refresh interval (DDR5 per-bank)
+    t_rfc: float = 195.0        # refresh cycle time (per-bank REFab share)
+    #: An AAP's back-to-back activations happen inside one row cycle, so
+    #: the rank-level tRRD/tFAW bookkeeping sees each AAP as a single
+    #: activation burst -- this is how Sec. 7.2.1 can say the first-to-
+    #: fifth *activation* latency with 16 banks is bounded by tFAW.
+    acts_per_aap: int = 1
+
+    @property
+    def t_aap(self) -> float:
+        """Latency of one AAP sequence: ``tRAS + tRP + 4 tCK``."""
+        return self.t_ras + self.t_rp + 4 * self.t_ck
+
+    @property
+    def t_rc(self) -> float:
+        """Row cycle time (ACT to next ACT on the same bank)."""
+        return self.t_ras + self.t_rp
+
+    @property
+    def refresh_overhead(self) -> float:
+        """Fraction of time the rank is unavailable due to refresh."""
+        return self.t_rfc / self.t_refi
+
+
+#: Timing used throughout the evaluation (paper Tab. 2, Sec. 7.2).
+DDR5_4400_TIMING = TimingParams()
+
+
+def aap_period_ns(n_banks: int, timing: TimingParams = DDR5_4400_TIMING) -> float:
+    """Steady-state time between AAP completions for ``n_banks`` banks.
+
+    Three regimes (Sec. 7.2.1):
+
+    * the per-bank turnaround floor: only one AAP can be in flight per
+      bank, so ``n`` banks complete at most ``n`` AAPs per
+      ``tAAP + tRRD``;
+    * the ACT spacing floor: every AAP needs ``acts_per_aap`` ACT slots
+      separated by ``tRRD``;
+    * the FAW floor: at most 4 ACTs per ``tFAW`` window per rank.
+
+    The binding constraint is the largest of the three periods.
+    """
+    if n_banks < 1:
+        raise ValueError("need at least one bank")
+    per_bank = (timing.t_aap + timing.t_rrd) / n_banks
+    act_spacing = timing.acts_per_aap * timing.t_rrd
+    faw = timing.acts_per_aap * timing.t_faw / 4.0
+    return max(per_bank, act_spacing, faw)
+
+
+def aap_rate_per_s(n_banks: int,
+                   timing: TimingParams = DDR5_4400_TIMING) -> float:
+    """Sustained AAP throughput in operations per second."""
+    return 1e9 / aap_period_ns(n_banks, timing)
+
+
+def time_for_aaps_ns(n_aaps: int, n_banks: int,
+                     timing: TimingParams = DDR5_4400_TIMING,
+                     include_refresh: bool = False) -> float:
+    """Total time to issue ``n_aaps`` AAPs spread over ``n_banks`` banks.
+
+    Uses the steady-state period plus one pipeline-fill ``tAAP``; exact
+    agreement with the event-driven scheduler is asserted in the tests.
+    ``include_refresh`` stretches the makespan by the tRFC/tREFI duty
+    cycle (~5 % on DDR5) -- counters are ordinary cells and still need
+    refreshing while they compute.
+    """
+    if n_aaps <= 0:
+        return 0.0
+    total = timing.t_aap + (n_aaps - 1) * aap_period_ns(n_banks, timing)
+    if include_refresh:
+        total *= 1.0 + timing.refresh_overhead
+    return total

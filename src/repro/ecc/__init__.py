@@ -1,0 +1,23 @@
+"""Error correction substrate: GF(2^m), Hamming SEC-DED, BCH, TMR, and
+the XOR-embedding CIM protection scheme with its Table-1 analysis."""
+
+from repro.ecc.analysis import (correction_overhead, monte_carlo_protection,
+                                protected_detect_rate, protected_error_rate,
+                                row_detect_rate, table1, table1_row)
+from repro.ecc.bch import BatchedBCH, BCHCode, BCHDecodeResult
+from repro.ecc.gf2 import GF2m
+from repro.ecc.hamming import HAMMING_72_64, DecodingResult, HammingCode
+from repro.ecc.protection import (CIMProtection, ProtectionStats,
+                                  RetryExhaustedError)
+from repro.ecc.tmr import run_with_tmr, tmr_error_rate, tmr_ops, vote_rows
+
+__all__ = [
+    "correction_overhead", "monte_carlo_protection",
+    "protected_detect_rate", "protected_error_rate",
+    "row_detect_rate", "table1", "table1_row",
+    "BatchedBCH", "BCHCode", "BCHDecodeResult",
+    "GF2m",
+    "HAMMING_72_64", "DecodingResult", "HammingCode",
+    "CIMProtection", "ProtectionStats", "RetryExhaustedError",
+    "run_with_tmr", "tmr_error_rate", "tmr_ops", "vote_rows",
+]

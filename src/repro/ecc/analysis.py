@@ -1,0 +1,160 @@
+"""Analytical + Monte-Carlo reliability models for Table 1 (Sec. 6.3).
+
+Closed forms (derivation in DESIGN.md Sec. 7):
+
+* **Undetectable error rate.**  A silent error needs a fault in a
+  masking ``IR2`` *and* a compensating fault in every one of the ``r``
+  FR recomputations.  A masking MAJ is contested (CIM-faultable) with
+  probability 3/4 under uniform operands, FR is always contested, and a
+  masked update protects two ANDs, giving ``2 · (3/4) f · f^r =
+  1.5 f^(r+1)`` -- exactly the coefficient of every Table 1 cell.  The
+  rate is floored at the DRAM read-fault rate (1e-20), which bounds the
+  "unlikely" data-dependent fault modes; the italicized Table 1 cells
+  sit on this floor.
+
+* **Detect rate.**  Any fault in one protected AND's exposed ops trips a
+  syndrome: ``IR1`` and ``IR2`` are each contested w.p. 3/4 and each of
+  the ``r`` FR computations w.p. 1, so the per-bit detect rate is
+  ``1 - (1 - f)^(r + 1.5)``.
+
+The Monte-Carlo model simulates the same gate dance with margin-aware
+faults and is used in the tests to cross-validate the closed forms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.opcount import protected_op_formula
+from repro.dram.faults import DRAM_READ_FAULT_RATE
+from repro.util import RngLike, as_rng, check_probability
+
+__all__ = ["protected_error_rate", "protected_detect_rate",
+           "table1_row", "table1", "monte_carlo_protection",
+           "row_detect_rate", "correction_overhead"]
+
+#: Fault rates of the published Table 1 columns.
+TABLE1_FAULT_RATES = (1e-1, 1e-2, 1e-4)
+#: FR-check counts of the published Table 1 rows.
+TABLE1_FR_CHECKS = (2, 4, 6)
+
+
+def protected_error_rate(fault_rate: float, fr_checks: int) -> float:
+    """Per-bit undetectable error rate: ``1.5 f^(r+1)``, floored."""
+    f = check_probability(fault_rate, "fault_rate")
+    r = int(fr_checks)
+    if r < 1:
+        raise ValueError("fr_checks must be >= 1")
+    return max(1.5 * f ** (r + 1), DRAM_READ_FAULT_RATE)
+
+
+def protected_detect_rate(fault_rate: float, fr_checks: int) -> float:
+    """Per-bit detectable fault rate: ``1 - (1-f)^(r + 1.5)``."""
+    f = check_probability(fault_rate, "fault_rate")
+    r = int(fr_checks)
+    return 1.0 - (1.0 - f) ** (r + 1.5)
+
+
+def row_detect_rate(fault_rate: float, fr_checks: int,
+                    row_bits: int = 512) -> float:
+    """Probability a protected row-level block needs recomputation.
+
+    Sec. 7.3.2: at f = 1e-4 with one FR repeat the per-bit detect rate
+    3.5e-4 becomes ~0.16 per 512-bit row.
+    """
+    p_bit = protected_detect_rate(fault_rate, fr_checks)
+    return 1.0 - (1.0 - p_bit) ** row_bits
+
+
+def correction_overhead(fault_rate: float, fr_checks: int,
+                        row_bits: int = 512) -> float:
+    """Expected recomputation overhead: geometric retry series ``d/(1-d)``.
+
+    Reproduces the 19.6 % correction overhead quoted in Sec. 7.3.2.
+    """
+    d = row_detect_rate(fault_rate, fr_checks, row_bits)
+    if d >= 1.0:
+        raise ValueError("detect rate saturates; block never completes")
+    return d / (1.0 - d)
+
+
+@dataclass
+class Table1Row:
+    """One row group of Table 1 for a given number of FR checks."""
+
+    fr_checks: int
+    error_rates: Dict[float, float]
+    detect_rates: Dict[float, float]
+    ambit_ops_formula: str
+    ambit_ops_n5: int
+
+
+def table1_row(fr_checks: int) -> Table1Row:
+    """Compute one column group of Table 1."""
+    r = int(fr_checks)
+    coeff_n = 5 * r + 3
+    coeff_c = 5 * r + 6
+    return Table1Row(
+        fr_checks=r,
+        error_rates={f: protected_error_rate(f, r)
+                     for f in TABLE1_FAULT_RATES},
+        detect_rates={f: protected_detect_rate(f, r)
+                      for f in TABLE1_FAULT_RATES},
+        ambit_ops_formula=f"{coeff_n}n + {coeff_c}",
+        ambit_ops_n5=protected_op_formula(5, r),
+    )
+
+
+def table1() -> List[Table1Row]:
+    """The full reproduced Table 1."""
+    return [table1_row(r) for r in TABLE1_FR_CHECKS]
+
+
+def monte_carlo_protection(fault_rate: float, fr_checks: int,
+                           trials: int = 200_000,
+                           seed: RngLike = 0) -> Dict[str, float]:
+    """Gate-level Monte Carlo of one protected masked bit update.
+
+    Simulates the two masking ANDs of a bit update with margin-aware
+    faults: ``IR1/IR2`` fault only when their majority is contested, each
+    FR recomputation faults independently, and a silent error requires
+    the faulty IR2 to survive every FR comparison.  Returns empirical
+    ``error_rate`` and ``detect_rate`` per bit update.
+    """
+    f = check_probability(fault_rate, "fault_rate")
+    r = int(fr_checks)
+    rng = as_rng(seed)
+
+    # Uniform operand bits for the two protected ANDs of one update.
+    a = rng.integers(0, 2, (trials, 2)).astype(np.uint8)
+    b = rng.integers(0, 2, (trials, 2)).astype(np.uint8)
+    ir1_true = a | b
+    ir2_true = a & b
+    xor_true = a ^ b
+
+    def faults(contested: np.ndarray) -> np.ndarray:
+        roll = rng.random(contested.shape) < f
+        return roll & contested
+
+    # Contested = not unanimous (operand triple with the constant).
+    ir1_contested = ~((a == 1) & (b == 1))        # MAJ(1, a, b)
+    ir2_contested = ~((a == 0) & (b == 0))        # MAJ(0, a, b)
+    ir1 = ir1_true ^ faults(ir1_contested)
+    ir2 = ir2_true ^ faults(ir2_contested)
+
+    detected = np.zeros(trials, dtype=bool)
+    for _ in range(r):
+        # FR = MAJ(0, IR1, NOT IR2) is contested unless IR1==0, IR2==1,
+        # which cannot happen fault-free; model it as always contested.
+        fr = (ir1 & (1 - ir2)) ^ faults(np.ones_like(ir1, dtype=bool))
+        detected |= (fr != xor_true).any(axis=1)
+
+    wrong = (ir2 != ir2_true).any(axis=1)
+    silent = wrong & ~detected
+    return {
+        "error_rate": float(silent.mean()),
+        "detect_rate": float(detected.mean()),
+    }

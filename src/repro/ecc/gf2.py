@@ -1,0 +1,112 @@
+"""Galois field GF(2^m) arithmetic for BCH codes (built from scratch).
+
+Log/antilog-table implementation over the standard primitive polynomials.
+Elements are ints in ``[0, 2^m - 1]``; 0 is the additive identity.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = ["GF2m", "PRIMITIVE_POLYS"]
+
+#: Primitive polynomials (bitmask form, degree m term included).
+PRIMITIVE_POLYS = {
+    2: 0b111,          # x^2 + x + 1
+    3: 0b1011,         # x^3 + x + 1
+    4: 0b10011,        # x^4 + x + 1
+    5: 0b100101,       # x^5 + x^2 + 1
+    6: 0b1000011,      # x^6 + x + 1
+    7: 0b10001001,     # x^7 + x^3 + 1
+    8: 0b100011101,    # x^8 + x^4 + x^3 + x^2 + 1
+    9: 0b1000010001,   # x^9 + x^4 + 1
+    10: 0b10000001001, # x^10 + x^3 + 1
+}
+
+
+class GF2m:
+    """The finite field GF(2^m) with exp/log tables."""
+
+    def __init__(self, m: int):
+        if m not in PRIMITIVE_POLYS:
+            raise ValueError(f"unsupported field degree {m}")
+        self.m = m
+        self.size = 1 << m
+        self.poly = PRIMITIVE_POLYS[m]
+        self.exp: List[int] = [0] * (2 * self.size)
+        self.log: List[int] = [0] * self.size
+        x = 1
+        for i in range(self.size - 1):
+            self.exp[i] = x
+            self.log[x] = i
+            x <<= 1
+            if x & self.size:
+                x ^= self.poly
+        # Duplicate for mod-free exponent addition.
+        for i in range(self.size - 1, 2 * self.size):
+            self.exp[i] = self.exp[i - (self.size - 1)]
+
+    # ------------------------------------------------------------------
+    def add(self, a: int, b: int) -> int:
+        """Addition = XOR in characteristic 2."""
+        return a ^ b
+
+    def mul(self, a: int, b: int) -> int:
+        if a == 0 or b == 0:
+            return 0
+        return self.exp[self.log[a] + self.log[b]]
+
+    def div(self, a: int, b: int) -> int:
+        if b == 0:
+            raise ZeroDivisionError("division by zero in GF(2^m)")
+        if a == 0:
+            return 0
+        return self.exp[self.log[a] - self.log[b] + self.size - 1]
+
+    def inv(self, a: int) -> int:
+        if a == 0:
+            raise ZeroDivisionError("zero has no inverse")
+        return self.exp[self.size - 1 - self.log[a]]
+
+    def pow(self, a: int, e: int) -> int:
+        if a == 0:
+            return 0 if e else 1
+        return self.exp[(self.log[a] * e) % (self.size - 1)]
+
+    def alpha_pow(self, e: int) -> int:
+        """α^e for the primitive element α."""
+        return self.exp[e % (self.size - 1)]
+
+    # ------------------------------------------------------------------
+    # polynomials over GF(2^m), coefficient lists lowest-degree first
+    # ------------------------------------------------------------------
+    def poly_eval(self, coeffs: List[int], x: int) -> int:
+        acc = 0
+        for c in reversed(coeffs):
+            acc = self.add(self.mul(acc, x), c)
+        return acc
+
+    def poly_mul(self, p: List[int], q: List[int]) -> List[int]:
+        out = [0] * (len(p) + len(q) - 1)
+        for i, a in enumerate(p):
+            if a == 0:
+                continue
+            for j, b in enumerate(q):
+                if b:
+                    out[i + j] ^= self.mul(a, b)
+        return out
+
+    def minimal_polynomial(self, element: int) -> List[int]:
+        """Minimal polynomial of ``element`` over GF(2) (binary coeffs)."""
+        # Conjugacy class {e, e^2, e^4, ...}
+        conj = []
+        x = element
+        while x not in conj:
+            conj.append(x)
+            x = self.mul(x, x)
+        poly = [1]
+        for root in conj:
+            poly = self.poly_mul(poly, [root, 1])
+        if any(c not in (0, 1) for c in poly):  # pragma: no cover
+            raise ArithmeticError("minimal polynomial not binary")
+        return poly

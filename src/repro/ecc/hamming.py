@@ -1,0 +1,140 @@
+"""Extended Hamming SEC-DED codes, e.g. the DRAM-standard (72, 64).
+
+Single-error-correcting, double-error-detecting codes built from the
+classic power-of-two parity positions plus an overall parity bit.  The
+code is linear over GF(2), hence **homomorphic over XOR** -- the property
+Count2Multiply's protection scheme exploits (Sec. 6.1): the check bits of
+``a XOR b`` are the XOR of the check bits of ``a`` and ``b``.
+
+All operations are vectorized over a batch of words.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["HammingCode", "DecodingResult", "HAMMING_72_64"]
+
+
+@dataclass
+class DecodingResult:
+    """Outcome of decoding a batch of codewords."""
+
+    data: np.ndarray            # corrected data bits [batch, k]
+    detected: np.ndarray        # any error detected per word [batch]
+    corrected: np.ndarray       # single error corrected per word [batch]
+    uncorrectable: np.ndarray   # double error detected per word [batch]
+
+
+class HammingCode:
+    """Extended Hamming code for ``k`` data bits.
+
+    The layout uses 1-based positions ``1..n-1`` with parity bits at
+    powers of two, plus an appended overall-parity bit.  For ``k = 64``
+    this yields the (72, 64) SEC-DED code used on DRAM DIMMs (Tab. 2's
+    ECC chip).
+    """
+
+    def __init__(self, k: int = 64):
+        if k < 1:
+            raise ValueError("k must be positive")
+        self.k = k
+        r = 1
+        while (1 << r) < k + r + 1:
+            r += 1
+        self.r = r                      # Hamming parity bits
+        self.n = k + r + 1              # + overall parity
+        positions = []
+        for pos in range(1, k + r + 1):
+            if pos & (pos - 1):         # not a power of two -> data
+                positions.append(pos)
+        self.data_positions = np.array(positions)
+        self.parity_positions = np.array([1 << i for i in range(r)])
+        # Parity-check masks: parity i covers positions with bit i set.
+        self._cover = [
+            (self.data_positions & (1 << i)) != 0 for i in range(r)]
+
+    # ------------------------------------------------------------------
+    def _as_batch(self, bits: np.ndarray, width: int) -> np.ndarray:
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.ndim == 1:
+            bits = bits[None, :]
+        if bits.shape[1] != width:
+            raise ValueError(f"expected width {width}, got {bits.shape[1]}")
+        return bits
+
+    def parity_bits(self, data: np.ndarray) -> np.ndarray:
+        """Check bits (r Hamming + 1 overall) for a batch of data words.
+
+        Linear in the data, so ``parity(a ^ b) == parity(a) ^ parity(b)``.
+        """
+        data = self._as_batch(data, self.k)
+        checks = np.stack(
+            [data[:, mask].sum(axis=1) % 2 for mask in self._cover],
+            axis=1).astype(np.uint8)
+        overall = (data.sum(axis=1) + checks.sum(axis=1)) % 2
+        return np.concatenate([checks, overall[:, None].astype(np.uint8)],
+                              axis=1)
+
+    def encode(self, data: np.ndarray) -> np.ndarray:
+        """Systematic codewords ``[data | checks]`` for a batch."""
+        data = self._as_batch(data, self.k)
+        return np.concatenate([data, self.parity_bits(data)], axis=1)
+
+    # ------------------------------------------------------------------
+    def syndrome(self, codeword: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """(Hamming syndrome value, overall parity) per word."""
+        cw = self._as_batch(codeword, self.n)
+        data, checks = cw[:, :self.k], cw[:, self.k:]
+        syn = np.zeros(cw.shape[0], dtype=np.int64)
+        for i, mask in enumerate(self._cover):
+            bit = (data[:, mask].sum(axis=1) + checks[:, i]) % 2
+            syn += bit.astype(np.int64) << i
+        overall = cw.sum(axis=1) % 2
+        return syn, overall.astype(np.uint8)
+
+    def decode(self, codeword: np.ndarray) -> DecodingResult:
+        """Correct single errors, flag double errors."""
+        cw = self._as_batch(codeword, self.n).copy()
+        syn, overall = self.syndrome(cw)
+        detected = (syn != 0) | (overall != 0)
+        # Single error: overall parity trips (odd number of flips).
+        single = detected & (overall == 1)
+        double = detected & (overall == 0)
+        for w in np.flatnonzero(single):
+            s = syn[w]
+            if s == 0:
+                # The overall parity bit itself flipped; data intact.
+                cw[w, self.n - 1] ^= 1
+                continue
+            if s in self.parity_positions:
+                idx = int(np.log2(s))
+                cw[w, self.k + idx] ^= 1
+            else:
+                hits = np.flatnonzero(self.data_positions == s)
+                if hits.size:
+                    cw[w, hits[0]] ^= 1
+                else:
+                    # Syndrome points outside the code: uncorrectable.
+                    double[w] = True
+                    single[w] = False
+        return DecodingResult(data=cw[:, :self.k], detected=detected,
+                              corrected=single, uncorrectable=double)
+
+    def check(self, data: np.ndarray, checks: np.ndarray) -> np.ndarray:
+        """Fast detect-only path: True per word when the checks mismatch.
+
+        This is the CIM validation primitive: the engine predicts the
+        check bits of an FR row via XOR homomorphism and compares with
+        the check bits recomputed from the (possibly faulty) FR data.
+        """
+        data = self._as_batch(data, self.k)
+        checks = self._as_batch(checks, self.r + 1)
+        return (self.parity_bits(data) != checks).any(axis=1)
+
+
+#: The DRAM-standard SEC-DED code (one extra x4/x8 device per rank).
+HAMMING_72_64 = HammingCode(64)

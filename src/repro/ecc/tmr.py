@@ -1,0 +1,66 @@
+"""Triple modular redundancy baseline (Secs. 2.3, 3, 6.3).
+
+TMR triplicates the computation and majority-votes the replicas.  In CIM
+the vote itself is *one TRA* over the three replica rows -- and because
+the replicas agree wherever no fault struck, the vote activation is
+unanimous on almost every column, so (margin-aware, Sec. 6.1) it adds
+almost no new faults.  TMR's weakness is coincident replica faults:
+``P(error) ≈ 3 f²``, far worse than the protection scheme's
+``1.5 f^(r+1)``, which is Fig. 4/17's result.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.dram.ambit import AmbitSubarray
+
+__all__ = ["tmr_error_rate", "tmr_ops", "vote_rows", "run_with_tmr"]
+
+
+def tmr_error_rate(fault_rate: float) -> float:
+    """Per-bit silent error probability of TMR under per-op rate ``f``.
+
+    Two or three replicas must fault on the same bit:
+    ``3 f² (1 - f) + f³``.
+    """
+    f = float(fault_rate)
+    return 3 * f * f * (1 - f) + f ** 3
+
+
+def tmr_ops(base_ops: int) -> int:
+    """Operation count: three replicas plus the voting activation.
+
+    The paper (Sec. 3) describes TMR as "circa 4x overhead in operation
+    count (three repeated operations and the voting operation)".
+    """
+    return 3 * base_ops + 1
+
+
+def vote_rows(subarray: AmbitSubarray, replica_rows: Sequence[int],
+              out_row: int) -> None:
+    """Majority-vote three replica rows into ``out_row`` with one TRA.
+
+    Stages the replicas into ``{T0, T1, T2}`` and activates B12; the
+    staging copies are ordinary AAPs.
+    """
+    if len(replica_rows) != 3:
+        raise ValueError("TMR votes exactly three replicas")
+    subarray.aap(replica_rows[0], "B0")
+    subarray.aap(replica_rows[1], "B1")
+    subarray.aap(replica_rows[2], "B2")
+    subarray.aap("B12", out_row)
+
+
+def run_with_tmr(run_replica: Callable[[int], np.ndarray]) -> np.ndarray:
+    """Functional TMR: run a computation three times and vote bitwise.
+
+    ``run_replica(i)`` performs replica ``i`` and returns its result row;
+    used by the application-level fault studies where the computation
+    does not live in a single subarray.
+    """
+    replicas = np.stack([np.asarray(run_replica(i), dtype=np.uint8)
+                         for i in range(3)])
+    return (replicas.sum(axis=0) >= 2).astype(np.uint8)

@@ -1,0 +1,8 @@
+"""The gate-level Count2Multiply engine: counter row mapping and the
+broadcast counting machine with optional ECC protection."""
+
+from repro.engine.bank import BankedEngine
+from repro.engine.machine import CountingEngine
+from repro.engine.mapping import CounterLayout
+
+__all__ = ["BankedEngine", "CountingEngine", "CounterLayout"]

@@ -1,0 +1,97 @@
+"""Multi-subarray execution: wide outputs across a bank (Secs. 2.1, 5.2).
+
+A single subarray row offers ``rank_row_bits`` counter lanes; wider
+output vectors tile across subarrays (and banks), all consuming the same
+broadcast command stream -- each tile holds its own slice of the mask
+matrix Z, so one k-ary increment sequence advances every tile at once.
+:class:`BankedEngine` models that: one scheduler, one command stream,
+many :class:`~repro.engine.machine.CountingEngine` tiles.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.iarm import BaseScheduler, IARMScheduler
+from repro.dram.faults import FAULT_FREE, FaultModel
+from repro.engine.machine import CountingEngine
+
+__all__ = ["BankedEngine"]
+
+
+class BankedEngine:
+    """A wide counter vector tiled over multiple subarrays.
+
+    Parameters mirror :class:`CountingEngine`; ``lanes_per_subarray``
+    caps each tile's width (the rank-level row size in a real module --
+    small here so tests exercise real tiling).
+    """
+
+    def __init__(self, n_bits: int, n_digits: int, n_lanes: int,
+                 lanes_per_subarray: int,
+                 fault_model: FaultModel = FAULT_FREE,
+                 fr_checks: int = 0,
+                 scheduler: Optional[BaseScheduler] = None):
+        if lanes_per_subarray < 1:
+            raise ValueError("lanes_per_subarray must be positive")
+        self.n_lanes = int(n_lanes)
+        self.lanes_per_subarray = int(lanes_per_subarray)
+        # One shared scheduler: the broadcast command stream is identical
+        # for every tile (Sec. 5.1), so carry bookkeeping is global.
+        self.scheduler = scheduler or IARMScheduler(n_bits, n_digits)
+        self.tiles: List[CountingEngine] = []
+        self._bounds: List[tuple] = []
+        start = 0
+        while start < self.n_lanes:
+            width = min(self.lanes_per_subarray, self.n_lanes - start)
+            self.tiles.append(CountingEngine(
+                n_bits, n_digits, width, fault_model=fault_model,
+                fr_checks=fr_checks,
+                scheduler=_NullScheduler(n_bits, n_digits)))
+            self._bounds.append((start, start + width))
+            start += width
+
+    @property
+    def n_tiles(self) -> int:
+        return len(self.tiles)
+
+    # ------------------------------------------------------------------
+    def load_mask(self, bits) -> None:
+        """Distribute a full-width mask across the tiles' mask rows."""
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.shape != (self.n_lanes,):
+            raise ValueError("mask width mismatch")
+        for tile, (lo, hi) in zip(self.tiles, self._bounds):
+            tile.load_mask(0, bits[lo:hi])
+
+    def accumulate(self, value: int) -> None:
+        """Broadcast one value's command stream to every tile."""
+        events = self.scheduler.schedule_value(int(value))
+        for tile in self.tiles:
+            tile.execute_events(events)
+            tile._flushed = False
+
+    def read_values(self, strict: bool = True) -> np.ndarray:
+        """Flush and concatenate every tile's counters."""
+        flush = self.scheduler.flush()
+        out = np.zeros(self.n_lanes, dtype=np.int64)
+        for tile, (lo, hi) in zip(self.tiles, self._bounds):
+            tile.execute_events(flush)
+            tile._flushed = True
+            out[lo:hi] = tile.read_values(strict=strict)
+        return out
+
+    @property
+    def measured_ops(self) -> int:
+        """Commands consumed across all tiles (broadcast counts once
+        per tile here; a real rank executes them in lockstep)."""
+        return sum(tile.measured_ops for tile in self.tiles)
+
+
+class _NullScheduler(BaseScheduler):
+    """Tiles never schedule on their own -- the bank drives them."""
+
+    def schedule_value(self, value: int):  # pragma: no cover - guard
+        raise RuntimeError("tile schedulers are driven by the bank")

@@ -1,0 +1,328 @@
+"""The Count2Multiply counting engine (paper Secs. 4-6 end to end).
+
+:class:`CountingEngine` owns one CIM subarray holding a vector of
+multi-digit Johnson counters (one per bitline), executes broadcast
+accumulation through the IARM scheduler as actual AAP/AP μPrograms, and
+optionally wraps every masking AND in the XOR-embedded ECC protection of
+Sec. 6 with retry-on-detection.
+
+This is the *functional* engine: bit-accurate, fault-injectable, and
+validated against the golden :class:`~repro.core.counter.CounterArray`.
+Large-shape performance questions go through :mod:`repro.perf` instead.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.iarm import (BaseScheduler, CarryResolve, Event,
+                             IARMScheduler, Increment)
+from repro.core.johnson import decode_lanes, transition_pattern
+from repro.core.opcount import event_ops
+from repro.dram.ambit import AmbitSubarray
+from repro.dram.faults import FAULT_FREE, FaultModel
+from repro.ecc.protection import CIMProtection
+from repro.engine.mapping import CounterLayout
+from repro.isa.templates import (kary_increment_program, masked_update_ops,
+                                 overflow_check_ops,
+                                 protected_masked_update_ops,
+                                 underflow_check_ops)
+from repro.isa.microprogram import MicroProgram, aap
+
+__all__ = ["CountingEngine"]
+
+
+class CountingEngine:
+    """A vector of in-memory high-radix counters with broadcast updates.
+
+    Parameters
+    ----------
+    n_bits, n_digits:
+        Digit geometry (radix ``2 * n_bits``; capacity ``(2n)^D``).
+    n_lanes:
+        Number of parallel counters (bitlines in use).
+    n_masks:
+        Mask rows resident in the subarray (rows of the Z operand).
+    fault_model:
+        Optional CIM fault injection.
+    fr_checks:
+        0 disables protection; >= 1 wraps masking ANDs in the Sec. 6
+        scheme with that many FR syndrome checks per AND.
+    scheduler:
+        Any :class:`~repro.core.iarm.BaseScheduler`; defaults to IARM.
+    """
+
+    def __init__(self, n_bits: int, n_digits: int, n_lanes: int,
+                 n_masks: int = 1,
+                 fault_model: FaultModel = FAULT_FREE,
+                 fr_checks: int = 0,
+                 scheduler: Optional[BaseScheduler] = None,
+                 protection_code=None,
+                 max_retries: int = 64):
+        self.n_bits = n_bits
+        self.n_digits = n_digits
+        self.n_lanes = n_lanes
+        self.radix = 2 * n_bits
+        self.fr_checks = int(fr_checks)
+        self.layout = CounterLayout(n_bits, n_digits, n_masks,
+                                    protected=self.fr_checks > 0)
+        self.subarray = AmbitSubarray(self.layout.total_rows, n_lanes,
+                                      fault_model)
+        self.scheduler = scheduler or IARMScheduler(n_bits, n_digits)
+        if self.fr_checks:
+            # Any XOR-homomorphic code works; Hamming (72,64) by default,
+            # BCH via repro.ecc.bch.BatchedBCH for stronger detection.
+            if protection_code is not None:
+                self.protection = CIMProtection(
+                    code=protection_code,
+                    word_bits=protection_code.k)
+            else:
+                self.protection = CIMProtection()
+        else:
+            self.protection = None
+        self.max_retries = max_retries
+        self.model_ops = 0       # paper-formula op accounting
+        self._flushed = True
+
+    # ------------------------------------------------------------------
+    # operand staging
+    # ------------------------------------------------------------------
+    def load_mask(self, index: int, bits) -> None:
+        """Write one Z mask row (host WR path)."""
+        bits = np.asarray(bits, dtype=np.uint8)
+        self.subarray.write_data_row(self.layout.mask_rows[index], bits)
+
+    def reset_counters(self) -> None:
+        """Zero all digit, O_next and scratch rows."""
+        zero = np.zeros(self.n_lanes, dtype=np.uint8)
+        for rows in self.layout.digit_bit_rows:
+            for r in rows:
+                self.subarray.write_data_row(r, zero)
+        for r in self.layout.onext_rows:
+            self.subarray.write_data_row(r, zero)
+
+    # ------------------------------------------------------------------
+    # protected building blocks
+    # ------------------------------------------------------------------
+    def _read(self, row: int) -> np.ndarray:
+        return self.subarray.read_data_row(row)
+
+    def _run_ops(self, ops: Sequence) -> None:
+        MicroProgram("block", tuple(ops)).run(self.subarray)
+
+    def _protected_update(self, dst_row: int, src_row: int, mask_row: int,
+                          invert_src: bool) -> None:
+        """One masked bit update with FR syndrome checks and retries."""
+        lay = self.layout
+        prog = protected_masked_update_ops(
+            dst_row, src_row, mask_row, invert_src,
+            ir1_row=lay.ir1_row, ir2_row=lay.ir2_row,
+            fr_row=lay.fr_row, t2_row=lay.t2_row)
+        cp1, cp2 = prog.checkpoints
+        block_a = prog.ops[:cp1 + 1]          # term1 + its FR
+        t2_copy = prog.ops[cp1 + 1:cp1 + 2]   # save IR2 -> T2
+        block_b = prog.ops[cp1 + 2:cp2 + 1]   # term2 + its FR
+        block_c = prog.ops[cp2 + 1:]          # disjoint OR into dst
+
+        prot = self.protection
+        mask_bits = self._read(mask_row)
+        src_bits = self._read(src_row)
+        expect_a = prot.predict_xor_checks(mask_bits) ^ (
+            prot.complement_checks(src_bits) if invert_src
+            else prot.checks_of(src_bits))
+
+        def fr_ok(expected) -> bool:
+            detected = prot.verify_xor(self._read(lay.fr_row), expected)
+            return not detected.any()
+
+        prot.run_protected(lambda: self._run_ops(block_a),
+                           lambda: self._check_repeated(fr_ok, expect_a,
+                                                        block_a[-5:]),
+                           self.max_retries)
+        self._run_ops(t2_copy)
+
+        dst_bits = self._read(dst_row)
+        expect_b = (prot.checks_of(dst_bits)
+                    ^ prot.complement_checks(mask_bits))
+        prot.run_protected(lambda: self._run_ops(block_b),
+                           lambda: self._check_repeated(fr_ok, expect_b,
+                                                        block_b[-5:]),
+                           self.max_retries)
+
+        def c_ok() -> bool:
+            expected = prot.predict_xor_checks(self._read(lay.t2_row),
+                                               self._read(lay.ir2_row))
+            detected = prot.verify_xor(self._read(dst_row), expected)
+            return not detected.any()
+
+        prot.run_protected(lambda: self._run_ops(block_c), c_ok,
+                           self.max_retries)
+
+    def _check_repeated(self, fr_ok, expected, fr_tail_ops) -> bool:
+        """Recompute FR ``fr_checks`` times (Tab. 1's repeat knob)."""
+        if not fr_ok(expected):
+            return False
+        for _ in range(self.fr_checks - 1):
+            self._run_ops(fr_tail_ops)       # recompute FR only
+            if not fr_ok(expected):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # event execution
+    # ------------------------------------------------------------------
+    def _run_increment(self, digit: int, k: int, mask_row: int) -> None:
+        lay = self.layout
+        bit_rows = lay.digit_bit_rows[digit]
+        if not self.fr_checks:
+            prog = kary_increment_program(bit_rows, mask_row, k,
+                                          lay.scratch_rows,
+                                          lay.onext_rows[digit])
+            prog.run(self.subarray)
+            return
+
+        # Protected path: cycle saves + protected per-bit updates +
+        # plain overflow check (Sec. 6.2 protects the masking ANDs).
+        pattern = transition_pattern(self.n_bits, k)
+        saves = {}
+        save_indices = list(pattern.cycle_saves)
+        if self.n_bits - 1 not in save_indices:
+            save_indices = [self.n_bits - 1] + save_indices
+        for scratch, idx in zip(lay.scratch_rows, save_indices):
+            self._run_ops([aap(bit_rows[idx], scratch)])
+            saves[idx] = scratch
+        written = set()
+        for a in pattern.assignments:
+            if a.src in saves and (a.src in written or a.src == a.dst):
+                src_row = saves[a.src]
+            else:
+                src_row = bit_rows[a.src]
+            self._protected_update(bit_rows[a.dst], src_row, mask_row,
+                                   a.inverted)
+            written.add(a.dst)
+        self._protected_overflow(digit, k, mask_row, saves[self.n_bits - 1])
+
+    def _protected_overflow(self, digit: int, k: int, mask_row: int,
+                            theta_row: int) -> None:
+        """Overflow/underflow update with detect-and-retry.
+
+        The block reads the old flags from a snapshot row, so a detected
+        fault simply re-executes it.  Validation compares against the
+        host-predicted flag (Alg. 1's expression on trusted reads) -- the
+        ECC-engine analogue for the non-XOR-embeddable final OR.
+        """
+        from repro.core.johnson import (overflow_after_step,
+                                        underflow_after_step)
+        lay = self.layout
+        onext = lay.onext_rows[digit]
+        snap = lay.onext_snapshot_row
+        bit_rows = lay.digit_bit_rows[digit]
+        self._run_ops([aap(onext, snap)])
+        old_flags = self._read(snap)
+        old_msb = self._read(theta_row)
+        new_msb = self._read(bit_rows[-1])
+        mask = self._read(mask_row)
+        flag_fn = overflow_after_step if k > 0 else underflow_after_step
+        expected = old_flags | flag_fn(old_msb, new_msb, abs(k),
+                                       self.n_bits, mask)
+        checker = overflow_check_ops if k > 0 else underflow_check_ops
+        block = checker(onext, theta_row, bit_rows[-1], abs(k),
+                        self.n_bits, mask_row, onext_src=snap)
+        self.protection.run_protected(
+            lambda: self._run_ops(block),
+            lambda: bool((self._read(onext) == expected).all()),
+            self.max_retries)
+
+    def _run_resolve(self, digit: int, direction: int) -> None:
+        """Carry ripple: ±1 on the next digit masked by this O_next row."""
+        onext = self.layout.onext_rows[digit]
+        self._run_increment(digit + 1, direction, mask_row=onext)
+        self._run_ops([aap("C0", onext)])
+
+    def execute_events(self, events: Sequence[Event],
+                       mask_index: int = 0) -> None:
+        """Run scheduler events against the subarray."""
+        mask_row = self.layout.mask_rows[mask_index]
+        for ev in events:
+            if isinstance(ev, Increment):
+                self._run_increment(ev.digit, ev.k, mask_row)
+            elif isinstance(ev, CarryResolve):
+                self._run_resolve(ev.digit, ev.direction)
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown event {ev!r}")
+            self.model_ops += event_ops(ev, self.n_bits,
+                                        fr_checks=self.fr_checks)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def accumulate(self, value: int, mask_index: int = 0) -> None:
+        """Add ``value`` to every counter whose mask bit is set."""
+        self._flushed = False
+        self.execute_events(self.scheduler.schedule_value(int(value)),
+                            mask_index)
+
+    def flush(self) -> None:
+        """Resolve all pending carries (read-out barrier)."""
+        self.execute_events(self.scheduler.flush())
+        self._flushed = True
+
+    def read_values(self, strict: bool = True) -> np.ndarray:
+        """Decode every lane's counter value (flushes first).
+
+        ``strict=False`` decodes invalid (fault-corrupted) Johnson states
+        leniently and folds surviving O_next flags in -- the behavior the
+        accuracy studies rely on.
+        """
+        if not self._flushed:
+            self.flush()
+        totals = np.zeros(self.n_lanes, dtype=np.int64)
+        weight = 1
+        for d in range(self.n_digits):
+            lanes = self.subarray.read_rows(self.layout.digit_bit_rows[d])
+            totals += decode_lanes(lanes, strict=strict) * weight
+            onext = self.subarray.read_data_row(self.layout.onext_rows[d])
+            if strict and d == self.n_digits - 1 and onext.any():
+                raise OverflowError("counter capacity exceeded")
+            totals += onext.astype(np.int64) * weight * self.radix
+            weight *= self.radix
+        return totals
+
+    # ------------------------------------------------------------------
+    # counter-row relocation (Sec. 5.2.2's GEMM row reuse)
+    # ------------------------------------------------------------------
+    def export_counters(self) -> np.ndarray:
+        """Copy all counter rows out (RowClone to another subarray).
+
+        Returns the raw row image ``[rows_per_counter, n_lanes]`` -- the
+        paper moves each finished output row of Y elsewhere and reuses
+        the counter rows for the next row of the result, avoiding any
+        copy of the much larger mask matrix Z.
+        """
+        if not self._flushed:
+            self.flush()
+        rows = []
+        for d in range(self.n_digits):
+            rows.extend(self.layout.digit_bit_rows[d])
+            rows.append(self.layout.onext_rows[d])
+        return self.subarray.read_rows(rows)
+
+    def import_counters(self, image: np.ndarray) -> None:
+        """Restore a previously exported counter image."""
+        image = np.asarray(image, dtype=np.uint8)
+        rows = []
+        for d in range(self.n_digits):
+            rows.extend(self.layout.digit_bit_rows[d])
+            rows.append(self.layout.onext_rows[d])
+        if image.shape != (len(rows), self.n_lanes):
+            raise ValueError("counter image shape mismatch")
+        for row, bits in zip(rows, image):
+            self.subarray.write_data_row(row, bits)
+        self._flushed = True
+
+    @property
+    def measured_ops(self) -> int:
+        """AAP+AP sequences actually issued (includes retries)."""
+        return self.subarray.ops_issued

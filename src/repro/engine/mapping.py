@@ -1,0 +1,85 @@
+"""Counter/mask row layout inside a CIM subarray (Fig. 1b, Fig. 5).
+
+All bits of a counter live in one column: each Johnson digit occupies
+``n`` consecutive D-group rows (LSB first) plus one ``O_next`` row
+(Sec. 4's ``n + 1`` rows per digit); mask rows hold the packed binary
+operand Z; scratch rows serve the μProgram's cycle saves and -- in
+protected mode -- the IR1/IR2/FR/T2 working set of Sec. 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.util import check_positive
+
+__all__ = ["CounterLayout"]
+
+
+@dataclass
+class CounterLayout:
+    """Row assignment for a bank of multi-digit counters plus masks.
+
+    Parameters
+    ----------
+    n_bits, n_digits:
+        Johnson digit width and digit count (radix ``2 * n_bits``).
+    n_masks:
+        Mask rows to reserve (one per Z row resident in this subarray).
+    protected:
+        Reserve the four ECC working rows.
+    """
+
+    n_bits: int
+    n_digits: int
+    n_masks: int = 1
+    protected: bool = False
+    digit_bit_rows: List[List[int]] = field(init=False)
+    onext_rows: List[int] = field(init=False)
+    mask_rows: List[int] = field(init=False)
+    scratch_rows: List[int] = field(init=False)
+    ir1_row: int = field(init=False, default=-1)
+    ir2_row: int = field(init=False, default=-1)
+    fr_row: int = field(init=False, default=-1)
+    t2_row: int = field(init=False, default=-1)
+
+    def __post_init__(self):
+        check_positive(self.n_bits, "n_bits")
+        check_positive(self.n_digits, "n_digits")
+        if self.n_masks < 0:
+            raise ValueError("n_masks must be non-negative")
+        row = 0
+        self.digit_bit_rows = []
+        self.onext_rows = []
+        for _ in range(self.n_digits):
+            self.digit_bit_rows.append(list(range(row, row + self.n_bits)))
+            row += self.n_bits
+            self.onext_rows.append(row)
+            row += 1
+        self.mask_rows = list(range(row, row + self.n_masks))
+        row += self.n_masks
+        # Cycle saves need up to n rows (gcd(n, k) <= n); one extra row
+        # snapshots O_next so protected overflow checks are retry-safe.
+        self.scratch_rows = list(range(row, row + self.n_bits))
+        row += self.n_bits
+        self.onext_snapshot_row = row
+        row += 1
+        # General-purpose spare (e.g. the cycle save of Algorithm 2's
+        # unit increments while the scratch pool holds copied operands).
+        self.aux_row = row
+        row += 1
+        if self.protected:
+            self.ir1_row, self.ir2_row, self.fr_row, self.t2_row = (
+                row, row + 1, row + 2, row + 3)
+            row += 4
+        self.total_rows = row
+
+    @property
+    def rows_per_counter(self) -> int:
+        """The paper's ``D * (n + 1)`` storage rows per counter column."""
+        return self.n_digits * (self.n_bits + 1)
+
+    def fits(self, available_data_rows: int) -> bool:
+        """Whether this layout fits a subarray's D-group."""
+        return self.total_rows <= available_data_rows

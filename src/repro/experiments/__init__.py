@@ -1,0 +1,8 @@
+"""Experiment registry regenerating every table and figure of the paper's
+evaluation (see DESIGN.md Sec. 3 for the index)."""
+
+from repro.experiments.registry import (ExperimentResult, experiment_names,
+                                        get_experiment, run_experiment)
+
+__all__ = ["ExperimentResult", "experiment_names", "get_experiment",
+           "run_experiment"]

@@ -1,0 +1,75 @@
+"""Fig. 4 -- fault-rate impact: accumulated-add RMSE and DNA filtering F1.
+
+(a) RMSE of a fixed accumulation for radix-10 Johnson counters vs a
+bit-serial RCA, each bare / +TMR / +ECC; (b) the DNA pre-alignment
+filter's F1 under the same fault sweep.  The paper's takeaways, which
+the assertions in the test suite pin: JC tolerates roughly an
+order-of-magnitude higher fault rates than RCA at equal error, TMR is
+weaker than ECC, and the F1 cliff moves right for JC.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.dna import DNAFilterConfig, DNAFilterWorkload
+from repro.apps.fastsim import FastJCAccumulator, FastRCAAccumulator
+from repro.experiments.registry import ExperimentResult, register
+from repro.util import as_rng
+
+SCHEMES = [("JC", "jc", "none"), ("JC+TMR", "jc", "tmr"),
+           ("JC+ECC", "jc", "ecc"), ("RCA", "rca", "none"),
+           ("RCA+TMR", "rca", "tmr"), ("RCA+ECC", "rca", "ecc")]
+
+
+def accumulation_rmse(kind: str, scheme: str, fault_rate: float,
+                      n_adds: int = 100, n_lanes: int = 256,
+                      seed=5) -> float:
+    """RMSE of accumulating ``n_adds`` small values (Fig. 4a point)."""
+    rng = as_rng(seed)
+    values = rng.integers(0, 10, n_adds)
+    if kind == "jc":
+        acc = FastJCAccumulator(n_bits=5, n_digits=3, n_lanes=n_lanes,
+                                fault_rate=fault_rate, scheme=scheme,
+                                seed=rng.integers(2 ** 31))
+    else:
+        acc = FastRCAAccumulator(width=16, n_lanes=n_lanes,
+                                 fault_rate=fault_rate, scheme=scheme,
+                                 seed=rng.integers(2 ** 31))
+    mask = np.ones(n_lanes, dtype=np.uint8)
+    for v in values:
+        acc.accumulate(int(v), mask)
+    expect = int(values.sum())
+    got = acc.read() if kind == "jc" else acc.read(signed=False)
+    return float(np.sqrt(np.mean((got.astype(np.float64) - expect) ** 2)))
+
+
+@register("fig04")
+def run(quick: bool = True) -> ExperimentResult:
+    result = ExperimentResult(
+        "Fig. 4", "Fault-rate impact on accumulation RMSE (a) and DNA "
+        "filtering F1 (b)")
+    rates = [1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1]
+    lanes = 128 if quick else 512
+
+    for f in rates:
+        row = {"fault_rate": f}
+        for label, kind, scheme in SCHEMES:
+            row[f"rmse[{label}]"] = accumulation_rmse(
+                kind, scheme, f, n_lanes=lanes)
+        result.rows.append(row)
+
+    workload = DNAFilterWorkload(DNAFilterConfig(
+        n_reads=30 if quick else 100))
+    for f in ([1e-5, 1e-4, 1e-3] if quick else rates):
+        row = {"fault_rate": f}
+        for label, kind, scheme in (SCHEMES[:1] + SCHEMES[3:4]):
+            row[f"f1[{label}]"] = workload.evaluate(
+                kind, f, scheme)["f1"]
+        result.rows.append(row)
+
+    result.notes.append(
+        "Paper: RCA shows substantial RMSE already at 1e-6 while JC "
+        "tolerates ~1e-5 for the same error; TMR > ECC error rates; the "
+        "JC filter's F1 cliff sits an order of magnitude right of RCA's")
+    return result

@@ -1,0 +1,45 @@
+"""Fig. 7 -- transition patterns of a 5-bit (radix-10) Johnson counter.
+
+For every increment ``+1 .. +9`` the figure draws which bit feeds which,
+with the twisted (inverting) edges marked.  We regenerate the full
+pattern table and verify each pattern advances every state correctly.
+"""
+
+from __future__ import annotations
+
+from repro.core.johnson import (all_states, apply_pattern, decode,
+                                transition_pattern)
+from repro.core.kary import render_fig7_row
+from repro.experiments.registry import ExperimentResult, register
+
+
+@register("fig07")
+def run(quick: bool = True) -> ExperimentResult:
+    result = ExperimentResult(
+        "Fig. 7", "Radix-10 k-ary transition patterns (+1 .. +9)")
+    n = 5
+    for k in range(1, 2 * n):
+        pattern = transition_pattern(n, k)
+        edges = render_fig7_row(n, k)
+        plain = sum(1 for _, _, inv in edges if not inv)
+        inverted = sum(1 for _, _, inv in edges if inv)
+        # Exhaustive check: the pattern realizes (v + k) mod 10.
+        ok = all(
+            decode(apply_pattern(state[:, None], pattern)[:, 0])
+            == (v + k) % (2 * n)
+            for v, state in all_states(n))
+        result.rows.append({
+            "increment": f"+{k}",
+            "forward_shift_edges": plain,
+            "inverted_feedback_edges": inverted,
+            "cycle_saves": len(pattern.cycle_saves),
+            "edges": "; ".join(
+                f"{dst}<-{'~' if inv else ''}{src}"
+                for dst, src, inv in edges),
+            "all_states_correct": ok,
+        })
+    result.notes.append(
+        "Every +k pattern uses the same number of per-bit updates as the "
+        "unit increment (n edges), matching the paper's equal-latency "
+        "claim; gcd(5, k) = 1 keeps cycle saves at one scratch row")
+    return result

@@ -1,0 +1,33 @@
+"""Fig. 10 -- counting μPrograms for the NVM backends.
+
+Pinatubo's AND/OR/NOT style costs ``3n + 4`` row operations per masked
+unit increment with overflow; the NOR-only MAGIC style needs ``~6n + 4``
+after reusing the complemented mask.  Both generated programs are
+functionally verified against the Johnson golden model in the tests.
+"""
+
+from __future__ import annotations
+
+from repro.core.opcount import increment_ops
+from repro.experiments.registry import ExperimentResult, register
+from repro.isa.nvm import magic_op_count, pinatubo_op_count
+
+
+@register("fig10")
+def run(quick: bool = True) -> ExperimentResult:
+    result = ExperimentResult(
+        "Fig. 10", "Pinatubo and MAGIC counting μProgram op counts")
+    for n in (2, 3, 4, 5, 8):
+        result.rows.append({
+            "n_bits": n,
+            "pinatubo_measured": pinatubo_op_count(n),
+            "pinatubo_paper(3n+4)": 3 * n + 4,
+            "magic_measured": magic_op_count(n),
+            "magic_paper(6n+4)": 6 * n + 4,
+            "ambit(7n+7)": increment_ops(n),
+        })
+    result.notes.append(
+        "Generated Pinatubo programs hit 3n+4 exactly; the MAGIC "
+        "generator lands at 6n+5 (one setup NOR above the paper's "
+        "optimized 6n+4)")
+    return result

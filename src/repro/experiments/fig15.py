@@ -1,0 +1,45 @@
+"""Fig. 15 -- bank-level parallelism: SIMDRAM vs C2M at 1/4/16 banks.
+
+Latency and throughput on the Tab. 3 shapes.  The scaling regimes come
+straight from the timing substrate: 1 bank is tAAP+tRRD-bound, 4 banks
+overlap inside that window, 16 banks saturate the four-activation
+window (Sec. 7.2.1).
+"""
+
+from __future__ import annotations
+
+from repro.apps.workloads import LLAMA_SHAPES
+from repro.experiments.registry import ExperimentResult, register
+from repro.perf.model import C2MConfig, C2MModel, simdram_cost
+from repro.util import geometric_mean
+
+BANKS = (1, 4, 16)
+
+
+@register("fig15")
+def run(quick: bool = True) -> ExperimentResult:
+    result = ExperimentResult(
+        "Fig. 15", "Latency / throughput of SIMDRAM:X vs C2M:X on "
+        "LLaMA GEMV+GEMM")
+    models = {b: C2MModel(C2MConfig(banks=b)) for b in BANKS}
+    speedups = {b: [] for b in BANKS}
+    shapes = (list(LLAMA_SHAPES.items())[:6] if quick
+              else list(LLAMA_SHAPES.items()))
+    for name, shape in shapes:
+        row = {"workload": name}
+        for b in BANKS:
+            c = models[b].cost(shape)
+            s = simdram_cost(shape, banks=b)
+            row[f"C2M:{b}_ms"] = c.latency_ms
+            row[f"SIMDRAM:{b}_ms"] = s.latency_ms
+            row[f"C2M:{b}_gops"] = c.gops
+            speedups[b].append(s.time_s / c.time_s)
+        result.rows.append(row)
+    for b in BANKS:
+        result.notes.append(
+            f"geomean C2M:{b} speedup over SIMDRAM:{b} = "
+            f"{geometric_mean(speedups[b]):.2f}x")
+    result.notes.append(
+        "Scaling 1->4 banks is ~4x (AAP overlap); 4->16 adds the "
+        "remaining headroom until tFAW binds, as in the paper")
+    return result

@@ -1,0 +1,62 @@
+"""Fig. 16 -- input-sparsity sweep on V0 (GEMV) and M0 (GEMM).
+
+C2M skips zero inputs so its latency falls (and nominal-ops throughput
+rises) linearly with sparsity; SIMDRAM's command stream is
+input-independent and the GPU's dense kernels are flat.  The paper's
+crossovers: C2M passes the GPU around ~40 % sparsity on the GEMV and at
+extreme (>99 %) sparsity on the GEMM.
+"""
+
+from __future__ import annotations
+
+from repro.apps.workloads import LLAMA_SHAPES
+from repro.experiments.registry import ExperimentResult, register
+from repro.perf.model import C2MConfig, C2MModel, gpu_cost, simdram_cost
+
+SPARSITIES = (0.0, 0.2, 0.4, 0.6, 0.8, 0.9, 0.99, 0.996, 0.999)
+
+
+def _crossover(c2m: C2MModel, shape, gpu_time: float) -> float:
+    """Smallest sparsity (1e-4 resolution) where C2M beats the GPU."""
+    lo, hi = 0.0, 0.9999
+    if c2m.cost(shape, lo).time_s <= gpu_time:
+        return 0.0
+    if c2m.cost(shape, hi).time_s > gpu_time:
+        return float("nan")
+    for _ in range(40):
+        mid = (lo + hi) / 2
+        if c2m.cost(shape, mid).time_s > gpu_time:
+            lo = mid
+        else:
+            hi = mid
+    return hi
+
+
+@register("fig16")
+def run(quick: bool = True) -> ExperimentResult:
+    result = ExperimentResult(
+        "Fig. 16", "Latency/throughput vs input sparsity (V0 GEMV, "
+        "M0 GEMM)")
+    c2m = C2MModel(C2MConfig(banks=16))
+    for wname in ("V0", "M0"):
+        shape = LLAMA_SHAPES[wname]
+        g = gpu_cost(shape)
+        s = simdram_cost(shape, banks=16)
+        for sp in SPARSITIES:
+            c = c2m.cost(shape, sparsity=sp)
+            result.rows.append({
+                "workload": wname, "sparsity": sp,
+                "C2M_ms": c.latency_ms, "SIMDRAM_ms": s.latency_ms,
+                "GPU_ms": g.latency_ms,
+                "C2M_gops": c.gops, "GPU_gops": g.gops,
+            })
+        cross = _crossover(c2m, shape, g.time_s)
+        result.notes.append(
+            f"{wname}: C2M overtakes GPU latency beyond "
+            f"{100 * cross:.2f}% sparsity "
+            f"(paper: ~40% for GEMV, 99.6% for GEMM)")
+    result.notes.append(
+        "SIMDRAM and GPU latency are flat across the sweep; C2M latency "
+        "falls linearly and its nominal-ops throughput rises, matching "
+        "the figure")
+    return result

@@ -1,0 +1,53 @@
+"""Fig. 17 -- application accuracy under CIM faults.
+
+(a) DNA pre-alignment filtering F1 and (b) BERT-proxy classification
+accuracy across fault rates for the six scheme combinations plus the
+software baseline.  The orderings the paper reports -- JC above RCA
+everywhere, ECC above TMR, a usable JC+ECC regime up to ~1e-2 -- are
+pinned by the test suite.
+"""
+
+from __future__ import annotations
+
+from repro.apps.bert import BertProxy, BertProxyConfig
+from repro.apps.dna import DNAFilterConfig, DNAFilterWorkload
+from repro.experiments.registry import ExperimentResult, register
+
+SCHEMES = [("JC", "jc", "none"), ("JC+TMR", "jc", "tmr"),
+           ("JC+ECC", "jc", "ecc"), ("RCA", "rca", "none"),
+           ("RCA+TMR", "rca", "tmr"), ("RCA+ECC", "rca", "ecc")]
+
+
+@register("fig17")
+def run(quick: bool = True) -> ExperimentResult:
+    result = ExperimentResult(
+        "Fig. 17", "DNA filtering F1 (a) and BERT accuracy (b) vs CIM "
+        "fault rate")
+    rates = [1e-4, 1e-2, 1e-1] if quick else [1e-6, 1e-5, 1e-4, 1e-3,
+                                              1e-2, 1e-1]
+
+    dna = DNAFilterWorkload(DNAFilterConfig(n_reads=25 if quick else 100))
+    for f in rates:
+        row = {"app": "DNA", "fault_rate": f}
+        for label, kind, scheme in SCHEMES:
+            row[label] = round(dna.evaluate(kind, f, scheme)["f1"], 3)
+        result.rows.append(row)
+
+    proxy = BertProxy(BertProxyConfig())
+    samples = 15 if quick else 60
+    sw = proxy.accuracy(max_samples=samples)
+    schemes = SCHEMES if not quick else [SCHEMES[0], SCHEMES[2],
+                                         SCHEMES[3]]
+    for f in rates:
+        row = {"app": "BERT", "fault_rate": f, "SW": round(sw, 3)}
+        for label, kind, scheme in schemes:
+            row[label] = round(proxy.accuracy(kind, f, scheme,
+                                              max_samples=samples), 3)
+        result.rows.append(row)
+
+    result.notes.append(
+        "Paper: DNA degrades gradually (F1 > 0.9 usable even at high "
+        "rates with protection) while BERT collapses sharply; JC+ECC "
+        "dominates, TMR trails ECC; RCA variants fail an order of "
+        "magnitude earlier")
+    return result

@@ -1,0 +1,97 @@
+"""Terminal-friendly ASCII charts for the regenerated figures.
+
+The paper's figures are mostly log-log line plots; this renderer turns
+an :class:`~repro.experiments.registry.ExperimentResult`'s row series
+into a fixed-width ASCII chart so ``python -m repro.experiments.runner
+--chart`` produces something that *looks* like the figure, offline.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["ascii_chart", "chart_from_rows"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _to_log(value: float, log: bool) -> float:
+    if not log:
+        return value
+    return math.log10(max(value, 1e-300))
+
+
+def ascii_chart(series: Dict[str, List[tuple]], width: int = 64,
+                height: int = 16, log_x: bool = False,
+                log_y: bool = False, title: str = "") -> str:
+    """Render named (x, y) series into an ASCII grid.
+
+    Each series gets a marker from ``oxX*#@%&``; axes are annotated with
+    the data extents (log-scaled when requested).
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts
+              if y is not None]
+    if not points:
+        return f"{title}\n(no data)"
+    xs = [_to_log(x, log_x) for x, _ in points]
+    ys = [_to_log(y, log_y) for _, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, pts) in enumerate(series.items()):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        for x, y in pts:
+            if y is None:
+                continue
+            col = int((_to_log(x, log_x) - x_lo) / x_span * (width - 1))
+            row = int((_to_log(y, log_y) - y_lo) / y_span * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    hi_label = f"{10 ** y_hi:.3g}" if log_y else f"{y_hi:.3g}"
+    lo_label = f"{10 ** y_lo:.3g}" if log_y else f"{y_lo:.3g}"
+    pad = max(len(hi_label), len(lo_label))
+    for i, row in enumerate(grid):
+        label = hi_label if i == 0 else (lo_label if i == height - 1
+                                         else "")
+        lines.append(f"{label:>{pad}} |{''.join(row)}")
+    x_lo_label = f"{10 ** x_lo:.3g}" if log_x else f"{x_lo:.3g}"
+    x_hi_label = f"{10 ** x_hi:.3g}" if log_x else f"{x_hi:.3g}"
+    lines.append(f"{'':>{pad}} +{'-' * width}")
+    lines.append(f"{'':>{pad}}  {x_lo_label}"
+                 f"{x_hi_label:>{width - len(x_lo_label)}}")
+    legend = "  ".join(f"{_MARKERS[i % len(_MARKERS)]}={name}"
+                       for i, name in enumerate(series))
+    lines.append(f"{'':>{pad}}  {legend}")
+    return "\n".join(lines)
+
+
+def chart_from_rows(rows: Sequence[dict], x_key: str,
+                    y_keys: Optional[Sequence[str]] = None,
+                    log_x: bool = False, log_y: bool = False,
+                    title: str = "", **kwargs) -> str:
+    """Chart an experiment's row dicts directly.
+
+    ``y_keys`` defaults to every numeric column except ``x_key``.
+    Non-numeric x values (e.g. the "RCA" row of Fig. 8) are skipped.
+    """
+    numeric_rows = [r for r in rows
+                    if isinstance(r.get(x_key), (int, float))]
+    if y_keys is None:
+        y_keys = [k for k in (numeric_rows[0] if numeric_rows else {})
+                  if k != x_key and isinstance(numeric_rows[0][k],
+                                               (int, float))]
+    series = {}
+    for key in y_keys:
+        pts = [(r[x_key], r.get(key)) for r in numeric_rows
+               if isinstance(r.get(key), (int, float))]
+        if pts:
+            series[key] = pts
+    return ascii_chart(series, log_x=log_x, log_y=log_y, title=title,
+                       **kwargs)

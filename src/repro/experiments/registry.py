@@ -1,0 +1,94 @@
+"""Experiment registry: one entry per paper table/figure (DESIGN.md §3).
+
+Every experiment module exposes ``run(quick=True) -> ExperimentResult``;
+``quick`` trims Monte-Carlo counts so the full suite stays laptop-scale.
+Results carry row dicts (the figure's series) plus free-form notes
+comparing against the paper's reported numbers; ``render()`` prints the
+table the benchmark harness captures into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+__all__ = ["ExperimentResult", "register", "get_experiment",
+           "experiment_names", "run_experiment"]
+
+
+@dataclass
+class ExperimentResult:
+    """The regenerated content of one paper table or figure."""
+
+    experiment_id: str
+    title: str
+    rows: List[dict] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Plain-text table in row order, plus notes."""
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        if self.rows:
+            keys = []
+            for row in self.rows:           # union, first-seen order
+                for k in row:
+                    if k not in keys:
+                        keys.append(k)
+            widths = {k: max(len(str(k)),
+                             *(len(_fmt(r.get(k))) for r in self.rows))
+                      for k in keys}
+            lines.append("  ".join(str(k).ljust(widths[k]) for k in keys))
+            for row in self.rows:
+                lines.append("  ".join(
+                    _fmt(row.get(k)).ljust(widths[k]) for k in keys))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e4 or abs(value) < 1e-3:
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+_REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {}
+
+
+def register(name: str):
+    """Decorator registering an experiment runner under ``name``."""
+    def wrap(fn: Callable[..., ExperimentResult]):
+        _REGISTRY[name] = fn
+        return fn
+    return wrap
+
+
+def get_experiment(name: str) -> Callable[..., ExperimentResult]:
+    _load_all()
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown experiment {name!r}; "
+                       f"available: {sorted(_REGISTRY)}")
+    return _REGISTRY[name]
+
+
+def experiment_names() -> List[str]:
+    _load_all()
+    return sorted(_REGISTRY)
+
+
+def run_experiment(name: str, quick: bool = True) -> ExperimentResult:
+    """Run one experiment by its registry name."""
+    return get_experiment(name)(quick=quick)
+
+
+def _load_all() -> None:
+    """Import every experiment module so registrations take effect."""
+    from repro.experiments import (fig03, fig04, fig07, fig08, fig09,  # noqa
+                                   fig10, fig14, fig15, fig16, fig17,
+                                   fig18, fig19, table1)

@@ -1,0 +1,70 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.experiments.runner            # run everything (quick)
+    python -m repro.experiments.runner fig16      # one experiment
+    python -m repro.experiments.runner --full     # full-fidelity sweep
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.registry import experiment_names, run_experiment
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate Count2Multiply paper tables/figures")
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment names (default: all)")
+    parser.add_argument("--full", action="store_true",
+                        help="full-fidelity sweeps (slower)")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiments")
+    parser.add_argument("--chart", action="store_true",
+                        help="render an ASCII chart where one applies")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in experiment_names():
+            print(name)
+        return 0
+
+    names = args.experiments or experiment_names()
+    for name in names:
+        start = time.time()
+        result = run_experiment(name, quick=not args.full)
+        print(result.render())
+        if args.chart:
+            chart = _chart_for(name, result)
+            if chart:
+                print(chart)
+        print(f"-- {name} regenerated in {time.time() - start:.1f}s --\n")
+    return 0
+
+
+#: Chartable experiments: (x column, y columns, log axes).
+_CHART_SPECS = {
+    "fig08": ("radix", ["unit_i64", "kary_i64", "iarm"], False, True),
+    "fig16": ("sparsity", ["C2M_ms", "SIMDRAM_ms", "GPU_ms"],
+              False, True),
+    "fig19": ("capacity", ["binary", "radix4", "radix10"], True, False),
+    "fig04": ("fault_rate", ["rmse[JC]", "rmse[RCA]"], True, True),
+}
+
+
+def _chart_for(name, result):
+    from repro.experiments.plotting import chart_from_rows
+    if name not in _CHART_SPECS:
+        return None
+    x_key, y_keys, log_x, log_y = _CHART_SPECS[name]
+    return chart_from_rows(result.rows, x_key, y_keys, log_x=log_x,
+                           log_y=log_y, title=f"[{name} chart]")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,109 @@
+"""μProgram intermediate representation (paper Secs. 4.2, 5.1).
+
+A μProgram is the sequence of ``AAP``/``AP`` command sequences the memory
+controller broadcasts to execute one logical step (a k-ary increment, an
+overflow check, a protected masking op).  Programs are built from
+symbolic row addresses (the Ambit B/C-group names plus ``D<i>`` data
+rows) and execute directly on :class:`repro.dram.ambit.AmbitSubarray`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple, Union
+
+from repro.dram.ambit import AmbitSubarray
+
+__all__ = ["MicroOp", "MicroProgram", "aap", "ap"]
+
+Address = Union[str, int]
+
+
+@dataclass(frozen=True)
+class MicroOp:
+    """One DRAM command sequence: ``AAP src, dst`` or ``AP target``."""
+
+    kind: str                  # "AAP" or "AP"
+    src: Address
+    dst: Address = None
+
+    def __post_init__(self):
+        if self.kind not in ("AAP", "AP"):
+            raise ValueError(f"unknown μOp kind {self.kind!r}")
+        if self.kind == "AAP" and self.dst is None:
+            raise ValueError("AAP needs a destination address")
+
+    def render(self) -> str:
+        if self.kind == "AAP":
+            return f"AAP {self.src}, {self.dst}"
+        return f"AP  {self.src}"
+
+
+def aap(src: Address, dst: Address) -> MicroOp:
+    """Shorthand constructor for an activate-activate-precharge op."""
+    return MicroOp("AAP", src, dst)
+
+
+def ap(target: Address) -> MicroOp:
+    """Shorthand constructor for an activate-precharge op."""
+    return MicroOp("AP", target)
+
+
+@dataclass
+class MicroProgram:
+    """A named, executable sequence of μOps.
+
+    ``checkpoints`` marks op indices after which the ECC engine performs a
+    syndrome check in protected mode (the FR rows of Sec. 6.1); plain
+    programs leave it empty.
+    """
+
+    name: str
+    ops: Tuple[MicroOp, ...] = ()
+    checkpoints: Tuple[int, ...] = ()
+
+    def __post_init__(self):
+        self.ops = tuple(self.ops)
+        self.checkpoints = tuple(self.checkpoints)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __add__(self, other: "MicroProgram") -> "MicroProgram":
+        shifted = tuple(c + len(self.ops) for c in other.checkpoints)
+        return MicroProgram(f"{self.name}+{other.name}",
+                            self.ops + other.ops,
+                            self.checkpoints + shifted)
+
+    @property
+    def aap_count(self) -> int:
+        return sum(1 for op in self.ops if op.kind == "AAP")
+
+    @property
+    def ap_count(self) -> int:
+        return sum(1 for op in self.ops if op.kind == "AP")
+
+    def run(self, subarray: AmbitSubarray) -> None:
+        """Execute every op in order against a subarray."""
+        for op in self.ops:
+            if op.kind == "AAP":
+                subarray.aap(op.src, op.dst)
+            else:
+                subarray.ap(op.src)
+
+    def listing(self) -> str:
+        """Human-readable listing in the style of paper Fig. 6b."""
+        lines = [f"// {self.name}"]
+        lines += [f"{i:3d}: {op.render()}" for i, op in enumerate(self.ops)]
+        return "\n".join(lines)
+
+
+def concat(name: str, programs: Iterable[MicroProgram]) -> MicroProgram:
+    """Concatenate programs, re-based checkpoints included."""
+    ops: List[MicroOp] = []
+    checkpoints: List[int] = []
+    for prog in programs:
+        base = len(ops)
+        ops.extend(prog.ops)
+        checkpoints.extend(base + c for c in prog.checkpoints)
+    return MicroProgram(name, tuple(ops), tuple(checkpoints))

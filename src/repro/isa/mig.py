@@ -1,0 +1,168 @@
+"""Majority-Inverter Graphs (paper Sec. 4.2, Fig. 6a; Amarù et al. [34]).
+
+A MIG is a DAG of 3-input majority nodes with optionally complemented
+edges.  It is the natural IR for Ambit-style CIM because MAJ3 is the
+hardware primitive and NOT is free on dual-contact cells.  This
+implementation provides structural hashing plus the classic
+simplification axioms applied eagerly at construction:
+
+* majority:      ``M(x, x, y) = x``, ``M(x, ~x, y) = y``
+* complement:    ``M(~x, ~y, ~z) = ~M(x, y, z)`` (canonicalized so at
+  most one child edge is complemented)
+* commutativity: children are stored sorted
+
+Literals are ints: ``2 * node_id + complemented``.  Node 0 is the
+constant 0; primary inputs are nodes ``1 .. n_inputs``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+import numpy as np
+
+__all__ = ["MIG", "CONST0", "CONST1"]
+
+CONST0 = 0  #: literal for constant false
+CONST1 = 1  #: literal for constant true
+
+
+def _negate(lit: int) -> int:
+    return lit ^ 1
+
+
+class MIG:
+    """A majority-inverter graph over ``n_inputs`` primary inputs."""
+
+    def __init__(self, n_inputs: int):
+        if n_inputs < 0:
+            raise ValueError("n_inputs must be non-negative")
+        self.n_inputs = n_inputs
+        # node id -> (a, b, c) child literals; only internal nodes stored.
+        self._children: Dict[int, Tuple[int, int, int]] = {}
+        self._hash: Dict[Tuple[int, int, int], int] = {}
+        self._next_node = n_inputs + 1
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def input_lit(self, index: int) -> int:
+        """Literal of primary input ``index`` (0-based)."""
+        if not 0 <= index < self.n_inputs:
+            raise IndexError(f"input {index} out of range")
+        return 2 * (index + 1)
+
+    def maj(self, a: int, b: int, c: int) -> int:
+        """Majority of three literals with eager simplification."""
+        a, b, c = sorted((a, b, c))
+        # M(x, x, y) = x
+        if a == b or b == c:
+            return b
+        # M(x, ~x, y) = y
+        if a == _negate(b):
+            return c
+        if b == _negate(c):
+            return a
+        if a == _negate(c):  # pragma: no cover - impossible when sorted
+            return b
+        # Canonicalize: at most one complemented child edge.
+        n_compl = (a & 1) + (b & 1) + (c & 1)
+        flip = n_compl >= 2
+        if flip:
+            a, b, c = sorted((_negate(a), _negate(b), _negate(c)))
+        key = (a, b, c)
+        node = self._hash.get(key)
+        if node is None:
+            node = self._next_node
+            self._next_node += 1
+            self._children[node] = key
+            self._hash[key] = node
+        lit = 2 * node
+        return _negate(lit) if flip else lit
+
+    def and_(self, a: int, b: int) -> int:
+        """AND as ``M(0, a, b)`` (paper Fig. 6a)."""
+        return self.maj(CONST0, a, b)
+
+    def or_(self, a: int, b: int) -> int:
+        """OR as ``M(1, a, b)``."""
+        return self.maj(CONST1, a, b)
+
+    def not_(self, a: int) -> int:
+        """Complement: free edge attribute."""
+        return _negate(a)
+
+    def xor_(self, a: int, b: int) -> int:
+        """XOR synthesized from the OR/AND pair of Sec. 6.1."""
+        ir1 = self.or_(a, b)
+        ir2 = self.and_(a, b)
+        return self.and_(ir1, self.not_(ir2))
+
+    def mux(self, sel: int, on_true: int, on_false: int) -> int:
+        """``sel ? on_true : on_false`` -- the masked-update primitive."""
+        return self.or_(self.and_(sel, on_true),
+                        self.and_(self.not_(sel), on_false))
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def children(self, node: int) -> Tuple[int, int, int]:
+        return self._children[node]
+
+    def is_input(self, node: int) -> bool:
+        return 1 <= node <= self.n_inputs
+
+    def reachable(self, outputs: Sequence[int]) -> Set[int]:
+        """Internal nodes reachable from the given output literals."""
+        seen: Set[int] = set()
+        stack = [lit >> 1 for lit in outputs]
+        while stack:
+            node = stack.pop()
+            if node in seen or node == 0 or self.is_input(node):
+                continue
+            seen.add(node)
+            stack.extend(lit >> 1 for lit in self._children[node])
+        return seen
+
+    def topo_order(self, outputs: Sequence[int]) -> List[int]:
+        """Reachable internal nodes in dependency order."""
+        keep = self.reachable(outputs)
+        return sorted(keep)  # node ids are allocated in topological order
+
+    def maj_count(self, outputs: Sequence[int]) -> int:
+        """MAJ3 gates needed for these outputs (after simplification)."""
+        return len(self.reachable(outputs))
+
+    def inverter_count(self, outputs: Sequence[int]) -> int:
+        """Complemented edges among reachable nodes plus output edges."""
+        count = sum(lit & 1 for lit in outputs)
+        for node in self.reachable(outputs):
+            count += sum(lit & 1 for lit in self._children[node])
+        return count
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, outputs: Sequence[int],
+                 inputs: np.ndarray) -> np.ndarray:
+        """Evaluate output literals on ``[n_inputs, n_lanes]`` bit rows."""
+        inputs = np.asarray(inputs, dtype=np.uint8)
+        if inputs.shape[0] != self.n_inputs:
+            raise ValueError("input row count mismatch")
+        lanes = inputs.shape[1]
+        values: Dict[int, np.ndarray] = {0: np.zeros(lanes, dtype=np.uint8)}
+        for i in range(self.n_inputs):
+            values[i + 1] = inputs[i]
+        for node in self.topo_order(outputs):
+            a, b, c = self._children[node]
+            va = self._lit_value(a, values)
+            vb = self._lit_value(b, values)
+            vc = self._lit_value(c, values)
+            values[node] = ((va.astype(np.int16) + vb + vc) >= 2).astype(
+                np.uint8)
+        return np.stack([self._lit_value(lit, values) for lit in outputs])
+
+    @staticmethod
+    def _lit_value(lit: int, values: Dict[int, np.ndarray]) -> np.ndarray:
+        v = values[lit >> 1]
+        return (1 - v) if (lit & 1) else v

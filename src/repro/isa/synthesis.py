@@ -1,0 +1,108 @@
+"""Lower a MIG to an executable Ambit μProgram (Secs. 4.2, 5.1).
+
+Every reachable MAJ node stages its three operands into the B11 triple
+``{T0, T1, DCC0}`` -- T0/T1 take plain operands, DCC0 absorbs the (at
+most one, thanks to MIG canonicalization) complemented operand through
+its negated port -- executes one ``AP B11`` and copies the result to a
+dedicated D-group scratch row.  This is the generic five-ops-per-gate
+lowering; the hand-scheduled templates in :mod:`repro.isa.templates`
+show what MIG-level optimization buys on the counting kernels (the
+paper's Fig. 6 flow).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.isa.microprogram import MicroOp, MicroProgram, aap, ap
+from repro.isa.mig import MIG
+
+__all__ = ["lower_to_ambit", "LoweringError"]
+
+
+class LoweringError(RuntimeError):
+    """The MIG cannot be lowered with the rows provided."""
+
+
+def _stage(ops: List[MicroOp], slot: str, row, negated: bool) -> None:
+    """Load one operand into a B11 slot.
+
+    ``slot`` is "T0", "T1" or "DCC0"; only the DCC0 slot can complement.
+    """
+    if slot == "T0":
+        target = "B0"
+    elif slot == "T1":
+        target = "B1"
+    else:
+        target = "B5" if negated else "B4"
+    if negated and slot != "DCC0":
+        raise LoweringError("only the DCC0 slot supports complementation")
+    ops.append(aap(row, target))
+
+
+def lower_to_ambit(mig: MIG, outputs: Sequence[int],
+                   input_rows: Sequence, output_rows: Sequence,
+                   scratch_rows: Sequence,
+                   name: str = "mig") -> MicroProgram:
+    """Emit a μProgram computing ``outputs`` into ``output_rows``.
+
+    ``input_rows[i]`` holds primary input ``i``; ``scratch_rows`` must
+    provide one row per reachable MAJ node.  Constant operands come from
+    the C-group.  Returns an executable :class:`MicroProgram`.
+    """
+    if len(input_rows) != mig.n_inputs:
+        raise LoweringError("need one row per primary input")
+    if len(outputs) != len(output_rows):
+        raise LoweringError("outputs and output_rows length mismatch")
+
+    order = mig.topo_order(outputs)
+    if len(order) > len(scratch_rows):
+        raise LoweringError(
+            f"MIG has {len(order)} gates but only {len(scratch_rows)} "
+            "scratch rows were provided")
+    node_row: Dict[int, object] = {
+        node: scratch_rows[i] for i, node in enumerate(order)}
+
+    def row_of(node: int):
+        if node == 0:
+            return "C0"
+        if mig.is_input(node):
+            return input_rows[node - 1]
+        return node_row[node]
+
+    ops: List[MicroOp] = []
+    for node in order:
+        # Normalize each child to (row, negated); a complemented constant
+        # becomes a plain load from the other C-group row.
+        operands = []
+        for lit in mig.children(node):
+            if lit == 0:
+                operands.append(("C0", False))
+            elif lit == 1:
+                operands.append(("C1", False))
+            else:
+                operands.append((row_of(lit >> 1), bool(lit & 1)))
+        negated = [o for o in operands if o[1]]
+        plain = [o for o in operands if not o[1]]
+        if len(negated) > 1:  # pragma: no cover - canonical form forbids
+            raise LoweringError("more than one complemented child")
+        # The (at most one) complemented operand takes the DCC0 slot.
+        if negated:
+            dcc_row, dcc_neg = negated[0]
+        else:
+            dcc_row, dcc_neg = plain.pop()
+        _stage(ops, "T0", plain[0][0], negated=False)
+        _stage(ops, "T1", plain[1][0], negated=False)
+        _stage(ops, "DCC0", dcc_row, negated=dcc_neg)
+        ops.append(ap("B11"))
+        ops.append(aap("B0", node_row[node]))
+
+    # Copy (possibly complemented) outputs to their destination rows.
+    for lit, out_row in zip(outputs, output_rows):
+        src = row_of(lit >> 1)
+        if lit & 1:
+            ops.append(aap(src, "B8"))      # DCC0 <- NOT src
+            ops.append(aap("B4", out_row))
+        else:
+            ops.append(aap(src, out_row))
+    return MicroProgram(name, tuple(ops))

@@ -1,0 +1,285 @@
+"""Executable μProgram templates for in-memory counting (Figs. 6b, 13a).
+
+Every template returns a :class:`~repro.isa.microprogram.MicroProgram`
+over symbolic D-group row indices; callers (the engine's row mapper) bind
+concrete rows.  The seven-op masked bit update is Fig. 6b's sequence, and
+we exploit the same two destructive-TRA absorption tricks the paper's
+listing relies on (see the inline proofs).
+
+Op-count accounting: the plain k-ary increment measures ``7n + g + V``
+ops, where ``g = gcd(n, k mod n)`` cycle saves (1 for the unit case --
+Fig. 6b line 0) and ``V`` ops of overflow checking (7 for ``k <= n``, 11
+for the wider ``k > n`` expression).  The paper reports the coprime-case
+``7n + 7``; tests pin both numbers and EXPERIMENTS.md notes the delta.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core.johnson import TransitionPattern, transition_pattern
+from repro.isa.microprogram import MicroOp, MicroProgram, aap, ap
+
+__all__ = [
+    "masked_update_ops", "overflow_check_ops", "underflow_check_ops",
+    "kary_increment_program", "carry_resolve_program", "row_copy_program",
+    "row_clear_program", "protected_masked_update_ops",
+]
+
+Address = object  # str | int; kept loose for symbolic rows
+
+
+def masked_update_ops(dst_row: Address, src_row: Address, mask_row: Address,
+                      invert_src: bool) -> List[MicroOp]:
+    """``dst <- (m AND [NOT] src) OR (NOT m AND dst)`` in seven ops.
+
+    Plain variant (Fig. 6b "ForwardShift"):
+
+    ====  ================  ==========================================
+    op    command           effect
+    ====  ================  ==========================================
+    1     AAP m,   B8       T0 <- m, DCC0 <- NOT m
+    2     AAP C0,  B9       T1 <- 0, DCC1 <- 1
+    3     AAP src, B2       T2 <- src
+    4     AP  B12           T0,T1,T2 <- MAJ(m, 0, src) = m AND src
+    5     AAP dst, B2       T2 <- dst (old value)
+    6     AAP B14, B3       T3 <- MAJ(T1, dst, NOT m)
+    7     AAP B15, dst      dst <- MAJ(T0, T3, 1) = T0 OR T3
+    ====  ================  ==========================================
+
+    After op 4, T1 holds ``m AND src`` rather than 0, so op 6 computes
+    ``MAJ(m AND src, dst, NOT m)``; the final OR with ``T0 = m AND src``
+    absorbs the extra minterm (``dst AND src AND m``), giving exactly the
+    masked multiplexer.  The inverted variant mirrors Fig. 6b's
+    "InvertedFeedback" block, where op 6's destructive TRA leaves
+    ``dst AND NOT m`` in T1/DCC0 and op 7's B11 majority
+    ``MAJ(m, dst AND NOT m, NOT src)`` ORed with T3 again absorbs.
+    """
+    if not invert_src:
+        return [
+            aap(mask_row, "B8"),
+            aap("C0", "B9"),
+            aap(src_row, "B2"),
+            ap("B12"),
+            aap(dst_row, "B2"),
+            aap("B14", "B3"),
+            aap("B15", dst_row),
+        ]
+    return [
+        aap(dst_row, "B2"),
+        aap(mask_row, "B8"),
+        aap("C0", "B9"),
+        aap("B14", "B3"),
+        aap(src_row, "B5"),
+        ap("B11"),
+        aap("B15", dst_row),
+    ]
+
+
+def overflow_check_ops(onext_row: Address, theta_msb_row: Address,
+                       msb_row: Address, k: int, n_bits: int,
+                       mask_row: Address,
+                       onext_src: Address = None) -> List[MicroOp]:
+    """Update O_next after a +k step (Alg. 1 lines 6 / 13).
+
+    ``k <= n``: ``O <- O OR (old_MSB AND NOT new_MSB)`` -- the mask is
+    implicit because unmasked lanes keep their MSB.  ``k > n``: the wider
+    ``O <- O OR ((old_MSB OR NOT new_MSB) AND m)`` needs the explicit
+    mask conjunction.  ``onext_src`` lets protected mode read the old
+    flags from a snapshot row so the block is retry-safe.
+    """
+    src = onext_row if onext_src is None else onext_src
+    if k <= n_bits:
+        return [
+            aap("C0", "B1"),            # T1 <- 0
+            aap(msb_row, "B5"),         # DCC0 <- NOT new_MSB
+            aap(theta_msb_row, "B2"),   # T2 <- old MSB
+            ap("B14"),                  # T1,T2,DCC0 <- old AND NOT new
+            aap(src, "B3"),             # T3 <- O_next
+            aap("C1", "B6"),            # DCC1 <- 1
+            aap("B13", onext_row),      # O <- MAJ(T2, T3, 1) = T2 OR T3
+        ]
+    return [
+        aap("C1", "B1"),                # T1 <- 1
+        aap(msb_row, "B5"),             # DCC0 <- NOT new_MSB
+        aap(theta_msb_row, "B2"),       # T2 <- old MSB
+        ap("B14"),                      # T1,T2,DCC0 <- old OR NOT new
+        aap("B1", "B0"),                # T0 <- (old OR NOT new)
+        aap(mask_row, "B1"),            # T1 <- m
+        aap("C0", "B2"),                # T2 <- 0
+        ap("B12"),                      # T0..T2 <- (...) AND m
+        aap(src, "B3"),                 # T3 <- O_next
+        aap("C1", "B6"),                # DCC1 <- 1
+        aap("B15", onext_row),          # O <- MAJ(T0, T3, 1)
+    ]
+
+
+def underflow_check_ops(onext_row: Address, theta_msb_row: Address,
+                        msb_row: Address, k: int, n_bits: int,
+                        mask_row: Address,
+                        onext_src: Address = None) -> List[MicroOp]:
+    """Update O_next after a -k step (Sec. 4.4 "Decrements").
+
+    Mirror image of overflow: MSB transitions 0 -> 1 for small steps,
+    ``(NOT old_MSB OR new_MSB) AND m`` for ``k > n``.
+    """
+    src = onext_row if onext_src is None else onext_src
+    if k <= n_bits:
+        return [
+            aap("C0", "B1"),            # T1 <- 0
+            aap(theta_msb_row, "B5"),   # DCC0 <- NOT old_MSB
+            aap(msb_row, "B2"),         # T2 <- new MSB
+            ap("B14"),                  # NOT old AND new
+            aap(src, "B3"),             # T3 <- O_next
+            aap("C1", "B6"),            # DCC1 <- 1
+            aap("B13", onext_row),
+        ]
+    return [
+        aap("C1", "B1"),                # T1 <- 1
+        aap(theta_msb_row, "B5"),       # DCC0 <- NOT old_MSB
+        aap(msb_row, "B2"),             # T2 <- new MSB
+        ap("B14"),                      # NOT old OR new
+        aap("B1", "B0"),
+        aap(mask_row, "B1"),
+        aap("C0", "B2"),
+        ap("B12"),
+        aap(src, "B3"),
+        aap("C1", "B6"),
+        aap("B15", onext_row),
+    ]
+
+
+def kary_increment_program(bit_rows: Sequence[Address], mask_row: Address,
+                           k: int, scratch_rows: Sequence[Address],
+                           onext_row: Address = None,
+                           check_overflow: bool = True) -> MicroProgram:
+    """Full masked k-ary step of one JC digit (|k| in ``[1, 2n-1]``).
+
+    ``bit_rows`` lists the digit's rows LSB first; ``scratch_rows`` must
+    provide ``gcd(n, |k| mod n)`` rows (but at least one so the old MSB is
+    available for overflow checking).  Negative ``k`` decrements.
+    """
+    n = len(bit_rows)
+    pattern: TransitionPattern = transition_pattern(n, k)
+    ops: List[MicroOp] = []
+
+    # Save each permutation cycle's seed row (Fig. 6b line 0 generalized);
+    # always save the MSB so the overflow check has the old value.
+    saves: Dict[int, Address] = {}
+    save_indices = list(pattern.cycle_saves)
+    if n - 1 not in save_indices:
+        save_indices = [n - 1] + save_indices
+    if len(save_indices) > len(scratch_rows):
+        raise ValueError(
+            f"k={k} on a {n}-bit digit needs {len(save_indices)} scratch "
+            f"rows, got {len(scratch_rows)}")
+    for scratch, idx in zip(scratch_rows, save_indices):
+        ops.append(aap(bit_rows[idx], scratch))
+        saves[idx] = scratch
+
+    written = set()
+    for assign in pattern.assignments:
+        if assign.src in saves and assign.src in written:
+            src_row = saves[assign.src]
+        elif assign.src in saves and assign.src == assign.dst:
+            src_row = saves[assign.src]
+        else:
+            src_row = bit_rows[assign.src]
+        ops.extend(masked_update_ops(bit_rows[assign.dst], src_row,
+                                     mask_row, assign.inverted))
+        written.add(assign.dst)
+
+    if check_overflow:
+        if onext_row is None:
+            raise ValueError("overflow checking needs an O_next row")
+        checker = overflow_check_ops if k > 0 else underflow_check_ops
+        ops.extend(checker(onext_row, saves[n - 1], bit_rows[n - 1],
+                           abs(k), n, mask_row))
+    return MicroProgram(f"kary_increment(k={k}, n={n})", tuple(ops))
+
+
+def carry_resolve_program(next_bit_rows: Sequence[Address],
+                          onext_row: Address,
+                          next_onext_row: Address,
+                          scratch_rows: Sequence[Address],
+                          direction: int = 1) -> MicroProgram:
+    """Ripple a pending carry: ±1 step of the next digit masked by O_next.
+
+    After the masked unit step (which may itself set the *next* digit's
+    O_next), the consumed flag row is cleared (one extra op, footnote 3).
+    """
+    if direction not in (1, -1):
+        raise ValueError("direction must be +1 or -1")
+    prog = kary_increment_program(next_bit_rows, onext_row, direction,
+                                  scratch_rows, next_onext_row)
+    clear = MicroProgram("clear_onext", (aap("C0", onext_row),))
+    combined = prog + clear
+    return MicroProgram(f"carry_resolve(direction={direction})",
+                        combined.ops)
+
+
+def row_copy_program(src: Address, dst: Address) -> MicroProgram:
+    """RowClone: one AAP."""
+    return MicroProgram(f"copy({src}->{dst})", (aap(src, dst),))
+
+
+def row_clear_program(row: Address) -> MicroProgram:
+    """Initialize a row to zero from the C0 control row."""
+    return MicroProgram(f"clear({row})", (aap("C0", row),))
+
+
+def protected_masked_update_ops(dst_row: Address, src_row: Address,
+                                mask_row: Address, invert_src: bool,
+                                ir1_row: Address, ir2_row: Address,
+                                fr_row: Address, t2_row: Address
+                                ) -> MicroProgram:
+    """ECC-protected masked update (Fig. 13a): both masking ANDs are
+    embedded in XOR computations whose results (the FR rows) traditional
+    ECC can syndrome-check.
+
+    Per masking term ``a AND b̃`` (``b̃`` possibly complemented) the scheme
+    computes ``IR1 = a OR b̃``, ``IR2 = a AND b̃`` and ``FR = IR1 AND NOT
+    IR2`` (= ``a XOR b̃``); a parity check of FR validates all three.
+    Checkpoints mark the two FR completion points.  Each AND/OR lowers to
+    a staged TRA through B11 -- ``MAJ(a, const, DCC0)`` with the constant
+    selecting AND (0) or OR (1) and DCC0's port polarity providing the
+    free complement -- at 5 ops each.  The final OR of the two protected
+    minterms is homomorphic to XOR because the mask makes them mutually
+    exclusive (Sec. 6.2).
+
+    The executable sequence costs 51 ops/bit; the paper's hand-optimized
+    count for the same dataflow is ``13n + 16`` total (Tab. 1), which the
+    performance models use.  EXPERIMENTS.md records the delta.
+    """
+    def gate(a, b, out, is_or, negate_b):
+        const = "C1" if is_or else "C0"
+        load_b = aap(b, "B5") if negate_b else aap(b, "B4")
+        return [aap(a, "B0"), aap(const, "B1"), load_b,
+                ap("B11"), aap("B0", out)]
+
+    def and2(a, b, out, negate_b=False):
+        return gate(a, b, out, is_or=False, negate_b=negate_b)
+
+    def or2(a, b, out, negate_b=False):
+        return gate(a, b, out, is_or=True, negate_b=negate_b)
+
+    ops: List[MicroOp] = []
+    checkpoints: List[int] = []
+
+    # Term 1: m AND src (forward shift) or m AND NOT src (feedback).
+    ops.extend(or2(mask_row, src_row, ir1_row, negate_b=invert_src))
+    ops.extend(and2(mask_row, src_row, ir2_row, negate_b=invert_src))
+    ops.extend(and2(ir1_row, ir2_row, fr_row, negate_b=True))  # XOR
+    checkpoints.append(len(ops) - 1)
+    ops.append(aap(ir2_row, t2_row))          # keep the masking result
+
+    # Term 2: dst AND NOT m.
+    ops.extend(or2(dst_row, mask_row, ir1_row, negate_b=True))
+    ops.extend(and2(dst_row, mask_row, ir2_row, negate_b=True))
+    ops.extend(and2(ir1_row, ir2_row, fr_row, negate_b=True))  # XOR
+    checkpoints.append(len(ops) - 1)
+
+    # dst <- term1 OR term2 (mutually exclusive => XOR-homomorphic).
+    ops.extend(or2(t2_row, ir2_row, dst_row))
+    return MicroProgram("protected_masked_update", tuple(ops),
+                        tuple(checkpoints))

@@ -1,0 +1,15 @@
+"""Kernels accelerated by Count2Multiply: integer-binary/ternary GEMV and
+GEMM, CSD bit-sliced integer-integer products, and tensor ops."""
+
+from repro.kernels.bitslice import (bitsliced_gemm, bitsliced_gemv,
+                                    csd_digits, csd_slices)
+from repro.kernels.gemm import binary_gemm, ternary_gemm
+from repro.kernels.gemv import binary_gemv, required_digits, ternary_gemv
+from repro.kernels.ops import engine_vector_add, relu, shift_left
+
+__all__ = [
+    "bitsliced_gemm", "bitsliced_gemv", "csd_digits", "csd_slices",
+    "binary_gemm", "ternary_gemm",
+    "binary_gemv", "required_digits", "ternary_gemv",
+    "engine_vector_add", "relu", "shift_left",
+]

@@ -1,0 +1,111 @@
+"""Integer-integer multiplication via CSD bit-slicing (paper Sec. 5.2.3).
+
+A p-bit integer matrix Z is decomposed into **canonical signed digit**
+(CSD) form: each value becomes a sum of ``±2^j`` terms with no two
+adjacent non-zeros, so at most ``ceil(p/2) + 1`` terms and, matrix-wide,
+one binary mask per (power, sign) pair -- the paper's
+``2(p-1)`` signed / ``p`` unsigned bit-slice bound.  Each slice is a
+mask row; the host scales the broadcast input by the slice's power of
+two with a shift (no multiplier needed) and accumulates into the same
+counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.dram.faults import FAULT_FREE, FaultModel
+from repro.kernels.gemv import ternary_gemv
+
+__all__ = ["csd_digits", "csd_slices", "bitsliced_gemv", "bitsliced_gemm"]
+
+
+def csd_digits(value: int, max_bits: int = 16) -> List[int]:
+    """Canonical signed-digit decomposition, LSB first, digits in {-1,0,1}.
+
+    The classic recoding: scan LSB to MSB; a run of ones ``0111...1``
+    becomes ``100...0-1`` (Avizienis [37]).  Guarantees no two adjacent
+    non-zero digits.
+
+    >>> csd_digits(7)      # 8 - 1
+    [-1, 0, 0, 1]
+    """
+    v = int(value)
+    if abs(v) >= (1 << max_bits):
+        raise ValueError(f"|{value}| needs more than {max_bits} bits")
+    digits: List[int] = []
+    while v != 0:
+        if v & 1:
+            # Choose the digit that makes the remainder divisible by 4.
+            d = 2 - (v & 3)  # v mod 4 == 1 -> +1 ; v mod 4 == 3 -> -1
+            digits.append(d)
+            v -= d
+        else:
+            digits.append(0)
+        v >>= 1
+    return digits or [0]
+
+
+@dataclass(frozen=True)
+class CSDSlice:
+    """One bit-slice of an integer matrix: ``sign * 2^power * mask``."""
+
+    power: int
+    sign: int
+    mask: np.ndarray  # binary [K, N]
+
+
+def csd_slices(z: np.ndarray, max_bits: int = 16) -> List[CSDSlice]:
+    """Decompose an integer matrix into CSD bit-slice masks.
+
+    Returns one slice per (power, sign) with a non-empty mask; the sum
+    ``sum_s sign_s * 2^power_s * mask_s`` reconstructs Z exactly.
+    """
+    z = np.asarray(z, dtype=np.int64)
+    digit_planes: dict = {}
+    it = np.nditer(z, flags=["multi_index"])
+    for val in it:
+        for power, d in enumerate(csd_digits(int(val), max_bits)):
+            if d == 0:
+                continue
+            key = (power, d)
+            if key not in digit_planes:
+                digit_planes[key] = np.zeros(z.shape, dtype=np.uint8)
+            digit_planes[key][it.multi_index] = 1
+    return [CSDSlice(power=p, sign=s, mask=m)
+            for (p, s), m in sorted(digit_planes.items())]
+
+
+def bitsliced_gemv(x: np.ndarray, z: np.ndarray, n_bits: int = 2,
+                   max_bits: int = 16,
+                   fault_model: FaultModel = FAULT_FREE,
+                   fr_checks: int = 0) -> np.ndarray:
+    """``y = x @ z`` for signed integer x *and* signed integer z.
+
+    Every CSD slice contributes ``sign * (x << power) @ mask``; the
+    shifted inputs ride the same ternary accumulation machinery, so the
+    counters never see a multiplier.
+    """
+    x = np.asarray(x, dtype=np.int64)
+    z = np.asarray(z, dtype=np.int64)
+    total = np.zeros(z.shape[1], dtype=np.int64)
+    for sl in csd_slices(z, max_bits):
+        scaled = (x << sl.power) * sl.sign
+        total += ternary_gemv(scaled, sl.mask.astype(np.int8),
+                              n_bits=n_bits, fault_model=fault_model,
+                              fr_checks=fr_checks)
+    return total
+
+
+def bitsliced_gemm(x: np.ndarray, z: np.ndarray, n_bits: int = 2,
+                   max_bits: int = 16,
+                   fault_model: FaultModel = FAULT_FREE) -> np.ndarray:
+    """``Y = X @ Z`` for signed integer matrices via CSD slices."""
+    x = np.asarray(x, dtype=np.int64)
+    rows = [bitsliced_gemv(x[o], z, n_bits=n_bits, max_bits=max_bits,
+                           fault_model=fault_model)
+            for o in range(x.shape[0])]
+    return np.stack(rows)

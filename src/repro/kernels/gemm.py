@@ -1,0 +1,56 @@
+"""Matrix-matrix products via row-sequential masked accumulation
+(paper Sec. 5.2.2).
+
+Each output row ``Y[o, :]`` is an independent masked accumulation
+``sum_k X[o, k] * Z[k, :]`` reusing the counter rows: the engine's
+counters are read out and reset between output rows, exactly as the
+paper describes copying the counter rows out and reusing them, which
+avoids duplicating the far larger mask storage for Z.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dram.faults import FAULT_FREE, FaultModel
+from repro.engine.machine import CountingEngine
+from repro.kernels.gemv import binary_gemv, required_digits, ternary_gemv
+
+__all__ = ["binary_gemm", "ternary_gemm"]
+
+
+def binary_gemm(x: np.ndarray, z: np.ndarray, n_bits: int = 2,
+                fault_model: FaultModel = FAULT_FREE,
+                fr_checks: int = 0) -> np.ndarray:
+    """``Y = X @ Z`` with non-negative integer X [M, K], binary Z [K, N].
+
+    Reuses one counting engine across output rows (counter rows are
+    reset, masks rebroadcast per k as in :func:`binary_gemv`).
+    """
+    x = np.asarray(x, dtype=np.int64)
+    z = np.asarray(z, dtype=np.uint8)
+    if x.ndim != 2 or z.ndim != 2 or x.shape[1] != z.shape[0]:
+        raise ValueError("shape mismatch: x [M, K], z [K, N]")
+    m, _ = x.shape
+    n = z.shape[1]
+    digits = required_digits(n_bits, x.flatten())
+    engine = CountingEngine(n_bits, digits, n, fault_model=fault_model,
+                            fr_checks=fr_checks)
+    out = np.zeros((m, n), dtype=np.int64)
+    for o in range(m):
+        out[o] = binary_gemv(x[o], z, n_bits=n_bits,
+                             fault_model=fault_model,
+                             fr_checks=fr_checks, engine=engine)
+    return out
+
+
+def ternary_gemm(x: np.ndarray, z: np.ndarray, n_bits: int = 2,
+                 fault_model: FaultModel = FAULT_FREE,
+                 fr_checks: int = 0) -> np.ndarray:
+    """``Y = X @ Z`` with signed integer X [M, K] and ternary Z [K, N]."""
+    x = np.asarray(x, dtype=np.int64)
+    if x.ndim != 2:
+        raise ValueError("x must be [M, K]")
+    rows = [ternary_gemv(x[o], z, n_bits=n_bits, fault_model=fault_model,
+                         fr_checks=fr_checks) for o in range(x.shape[0])]
+    return np.stack(rows)

@@ -1,0 +1,102 @@
+"""Integer-vector x binary/ternary-matrix products (paper Sec. 5.2.1).
+
+Vector-matrix multiplication is reinterpreted as *masked matrix
+accumulation*: ``y = sum_k x[k] * Z[k, :]`` where each row of Z is a mask
+resident in the subarray and each ``x[k]`` becomes a broadcast k-ary
+increment sequence.  Ternary matrices use the two-accumulator form: a
+positive and a negative counter bank, with the input's sign folded into
+the mask choice so counters only ever count upward (the host-side trick
+of Sec. 5.1; the paper's single-bank ``O_sign`` variant is modeled by
+the golden :class:`~repro.core.counter.CounterArray`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.dram.faults import FAULT_FREE, FaultModel
+from repro.engine.machine import CountingEngine
+
+__all__ = ["binary_gemv", "ternary_gemv", "required_digits"]
+
+
+def required_digits(n_bits: int, x: np.ndarray) -> int:
+    """Digits needed to accumulate the worst-case dot product of ``x``."""
+    worst = int(np.abs(np.asarray(x)).astype(np.int64).sum()) + 1
+    radix = 2 * n_bits
+    d = 1
+    while radix ** d < worst:
+        d += 1
+    return d
+
+
+def binary_gemv(x: np.ndarray, z: np.ndarray, n_bits: int = 2,
+                fault_model: FaultModel = FAULT_FREE,
+                fr_checks: int = 0,
+                engine: Optional[CountingEngine] = None) -> np.ndarray:
+    """``y = x @ z`` with non-negative integer ``x`` and binary ``z``.
+
+    ``x`` has shape ``[K]``, ``z`` ``[K, N]`` with entries in {0, 1}.
+    Executes gate-level on a counting engine (one counter per output).
+    """
+    x = np.asarray(x, dtype=np.int64)
+    z = np.asarray(z, dtype=np.uint8)
+    if x.ndim != 1 or z.ndim != 2 or z.shape[0] != x.size:
+        raise ValueError("shape mismatch: x [K], z [K, N]")
+    if (x < 0).any():
+        raise ValueError("binary_gemv expects non-negative inputs; use "
+                         "ternary_gemv for signed streams")
+    k, n = z.shape
+    if engine is None:
+        engine = CountingEngine(n_bits, required_digits(n_bits, x), n,
+                                fault_model=fault_model,
+                                fr_checks=fr_checks)
+    engine.reset_counters()
+    for i in range(k):
+        if x[i] == 0:
+            continue                       # zero-skipping (Sec. 7.2.3)
+        engine.load_mask(0, z[i])
+        engine.accumulate(int(x[i]))
+    return engine.read_values(strict=fault_model.p_cim == 0)
+
+
+def ternary_gemv(x: np.ndarray, z: np.ndarray, n_bits: int = 2,
+                 fault_model: FaultModel = FAULT_FREE,
+                 fr_checks: int = 0) -> np.ndarray:
+    """``y = x @ z`` with signed integer ``x`` and ternary ``z``.
+
+    Two counter banks accumulate the positive and negative contributions
+    (``x[k] * z[k,:]`` routes to bank ``sign(x[k]) * z``); the host folds
+    the input sign into the mask choice so both banks count upward.
+    """
+    x = np.asarray(x, dtype=np.int64)
+    z = np.asarray(z, dtype=np.int8)
+    if not np.isin(z, (-1, 0, 1)).all():
+        raise ValueError("z must be ternary (-1/0/1)")
+    k, n = z.shape
+    digits = required_digits(n_bits, x)
+    pos = CountingEngine(n_bits, digits, n, fault_model=fault_model,
+                         fr_checks=fr_checks)
+    neg = CountingEngine(n_bits, digits, n, fault_model=fault_model,
+                         fr_checks=fr_checks)
+    pos.reset_counters()
+    neg.reset_counters()
+    plus_masks = (z == 1).astype(np.uint8)
+    minus_masks = (z == -1).astype(np.uint8)
+    for i in range(k):
+        if x[i] == 0:
+            continue
+        magnitude = int(abs(x[i]))
+        up, down = ((plus_masks[i], minus_masks[i]) if x[i] > 0
+                    else (minus_masks[i], plus_masks[i]))
+        if up.any():
+            pos.load_mask(0, up)
+            pos.accumulate(magnitude)
+        if down.any():
+            neg.load_mask(0, down)
+            neg.accumulate(magnitude)
+    strict = fault_model.p_cim == 0
+    return (pos.read_values(strict=strict).astype(np.int64)
+            - neg.read_values(strict=strict).astype(np.int64))

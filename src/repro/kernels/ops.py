@@ -1,0 +1,124 @@
+"""Additional tensor-style operations (paper Sec. 5.2.4).
+
+* **shift-left** -- ``c << i`` by adding the counter vector to itself
+  ``i`` times (each self-add doubles);
+* **ReLU** -- sign check on the pos/neg accumulator pair (the paper's
+  ``O_sign`` probe);
+* **vector addition** -- Algorithm 2 executed fully in memory: the 2n
+  unit-increment masks are *derived from the source counter's bit rows
+  with CIM OR/AND ops*, then drive masked unit increments of the
+  destination counters.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.core.addition import add_counter_arrays
+from repro.core.counter import CounterArray
+from repro.engine.machine import CountingEngine
+from repro.isa.microprogram import MicroProgram, aap, ap
+from repro.isa.templates import kary_increment_program
+
+__all__ = ["shift_left", "relu", "engine_vector_add"]
+
+
+def shift_left(counter: CounterArray, amount: int) -> CounterArray:
+    """``c << amount`` via repeated self-addition (Sec. 5.2.4).
+
+    Each round adds the counter vector to a snapshot of itself, doubling
+    every lane; ``amount`` rounds multiply by ``2^amount``.
+    """
+    if amount < 0:
+        raise ValueError("shift amount must be non-negative")
+    for _ in range(amount):
+        snapshot = CounterArray(counter.n_bits, counter.n_digits,
+                                counter.n_lanes, wrap=counter.wrap)
+        snapshot.set_totals(counter.totals())
+        add_counter_arrays(counter, snapshot)
+    return counter
+
+
+def relu(pos_totals: np.ndarray, neg_totals: np.ndarray) -> np.ndarray:
+    """ReLU over a signed pos/neg accumulator pair.
+
+    ``relu(y) = pos - neg`` where negative lanes clamp to zero -- the
+    in-memory equivalent probes ``O_sign``; host-side this is the final
+    comparison at read-out.
+    """
+    y = np.asarray(pos_totals, dtype=np.int64) - np.asarray(
+        neg_totals, dtype=np.int64)
+    return np.maximum(y, 0)
+
+
+def _mask_or_ops(a_row, b_row, out_row) -> List:
+    """out <- a OR b (staged TRA through B11)."""
+    return [aap(a_row, "B0"), aap("C1", "B1"), aap(b_row, "B4"),
+            ap("B11"), aap("B0", out_row)]
+
+
+def _mask_andnot_ops(a_row, b_row, out_row) -> List:
+    """out <- NOT a AND b."""
+    return [aap(b_row, "B0"), aap("C0", "B1"), aap(a_row, "B5"),
+            ap("B11"), aap("B0", out_row)]
+
+
+def engine_vector_add(dst: CountingEngine, src: CountingEngine,
+                      digit: int = 0) -> int:
+    """In-memory Algorithm 2: add ``src``'s digit into ``dst``'s digit.
+
+    Both engines must have the same lane count and digit width; ``src``
+    must be carry-free.  The mask cascade is computed with CIM ops inside
+    ``dst``'s subarray after copying ``src``'s bit rows over (RowClone
+    across subarrays); each of the ``2n`` masks drives one masked unit
+    increment.  Returns the number of unit increments issued.
+    """
+    if dst.n_bits != src.n_bits or dst.n_lanes != src.n_lanes:
+        raise ValueError("engine geometry mismatch")
+    n = dst.n_bits
+    lay = dst.layout
+    if len(lay.mask_rows) < 1:
+        raise ValueError("destination engine needs a mask row")
+    mask_row = lay.mask_rows[0]
+    theta_row = lay.onext_snapshot_row     # reuse as Θ scratch
+    src_rows = src.subarray.read_rows(src.layout.digit_bit_rows[digit])
+
+    # Stage src's bit rows into dst's scratch (inter-subarray RowClone).
+    bit_copy_rows = lay.scratch_rows[:n]
+    for i, row in enumerate(bit_copy_rows):
+        dst.subarray.write_data_row(row, src_rows[i])
+
+    increments = 0
+    # Pass 1 (MSB -> LSB): theta starts as the MSB; mask = b OR theta.
+    ops = [aap(bit_copy_rows[n - 1], theta_row)]
+    MicroProgram("theta_init", tuple(ops)).run(dst.subarray)
+    for i in range(n - 1, -1, -1):
+        MicroProgram("mask_or", tuple(
+            _mask_or_ops(bit_copy_rows[i], theta_row, mask_row)
+            + [aap(mask_row, theta_row)])).run(dst.subarray)
+        _unit_increment(dst, digit, mask_row)
+        increments += 1
+    # Pass 2 (LSB -> MSB): mask = NOT b AND theta (cascading).
+    for i in range(n):
+        MicroProgram("mask_andnot", tuple(
+            _mask_andnot_ops(bit_copy_rows[i], theta_row, mask_row)
+            + [aap(mask_row, theta_row)])).run(dst.subarray)
+        _unit_increment(dst, digit, mask_row)
+        increments += 1
+    return increments
+
+
+def _unit_increment(engine: CountingEngine, digit: int,
+                    mask_row: int) -> None:
+    """Masked +1 on one digit, with overflow into its O_next row.
+
+    The scratch pool holds the copied source bits during Algorithm 2, so
+    the unit increment's single cycle save uses the layout's spare row.
+    """
+    lay = engine.layout
+    prog = kary_increment_program(
+        lay.digit_bit_rows[digit], mask_row, 1, [lay.aux_row],
+        lay.onext_rows[digit])
+    prog.run(engine.subarray)

@@ -1,0 +1,8 @@
+"""Performance models: C2M / SIMDRAM / GPU cost reports over GEMM shapes."""
+
+from repro.perf.metrics import CostReport
+from repro.perf.model import (C2MConfig, C2MModel, GEMMShape, gpu_cost,
+                              simdram_cost, uniform_int8_magnitudes)
+
+__all__ = ["CostReport", "C2MConfig", "C2MModel", "GEMMShape", "gpu_cost",
+           "simdram_cost", "uniform_int8_magnitudes"]

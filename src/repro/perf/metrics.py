@@ -1,0 +1,55 @@
+"""Common cost-report container and derived metrics (Sec. 7 figures)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CostReport"]
+
+
+@dataclass
+class CostReport:
+    """Latency/energy/area cost of one kernel on one design point.
+
+    ``nominal_ops`` counts the kernel's arithmetic work (2·M·N·K for a
+    GEMM) independent of sparsity -- the accounting the paper uses, which
+    is why zero-skipping designs show *rising* GOPS under sparsity while
+    the GPU stays flat (Fig. 16).
+    """
+
+    name: str
+    nominal_ops: float
+    time_s: float
+    energy_j: float
+    area_mm2: float
+    aaps: float = 0.0
+
+    @property
+    def latency_ms(self) -> float:
+        return self.time_s * 1e3
+
+    @property
+    def gops(self) -> float:
+        """Throughput in giga-operations per second."""
+        return self.nominal_ops / self.time_s / 1e9
+
+    @property
+    def power_w(self) -> float:
+        return self.energy_j / self.time_s
+
+    @property
+    def gops_per_watt(self) -> float:
+        return self.gops / self.power_w
+
+    @property
+    def gops_per_mm2(self) -> float:
+        return self.gops / self.area_mm2
+
+    def normalized_to(self, baseline: "CostReport") -> dict:
+        """Ratios against a baseline (the Fig. 14 normalization)."""
+        return {
+            "speedup": baseline.time_s / self.time_s,
+            "gops": self.gops / baseline.gops,
+            "gops_per_watt": self.gops_per_watt / baseline.gops_per_watt,
+            "gops_per_mm2": self.gops_per_mm2 / baseline.gops_per_mm2,
+        }

@@ -1,0 +1,216 @@
+"""End-to-end performance models for C2M, SIMDRAM and the GPU (Sec. 7).
+
+The C2M cost of a masked accumulation is *input-dependent*: the host
+broadcasts one k-ary increment per non-zero input digit, IARM amortizes
+carry rippling, and zero inputs are skipped entirely.  The model samples
+a value stream (matching the evaluated distribution), measures the mean
+scheduler cost per input, and folds in column tiling, bank-level
+parallelism, the protection-scheme op inflation (Tab. 1) and the
+detected-fault correction overhead (Sec. 7.3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.gpu import GPUModel
+from repro.baselines.simdram import SIMDRAMConfig, SIMDRAMModel
+from repro.core.iarm import IARMScheduler, NaiveKaryScheduler, UnitScheduler
+from repro.core.opcount import (digits_for_capacity, increment_ops,
+                                mean_ops_per_value, protected_increment_ops)
+from repro.dram.energy import DDR5_ENERGY, EnergyModel
+from repro.dram.geometry import DDR5_4400, DRAMGeometry
+from repro.dram.timing import DDR5_4400_TIMING, TimingParams, time_for_aaps_ns
+from repro.ecc.analysis import correction_overhead
+from repro.perf.metrics import CostReport
+from repro.util import RngLike, as_rng
+
+__all__ = ["GEMMShape", "C2MConfig", "C2MModel", "simdram_cost", "gpu_cost",
+           "uniform_int8_magnitudes"]
+
+_SCHEDULERS = {
+    "iarm": IARMScheduler,
+    "kary": NaiveKaryScheduler,
+    "unit": UnitScheduler,
+}
+
+
+@dataclass(frozen=True)
+class GEMMShape:
+    """An M x N x K multiplication (M = 1 is a GEMV)."""
+
+    m: int
+    n: int
+    k: int
+    name: str = ""
+
+    @property
+    def nominal_ops(self) -> float:
+        """2 MACs per multiply-accumulate."""
+        return 2.0 * self.m * self.n * self.k
+
+
+def uniform_int8_magnitudes(count: int = 4096,
+                            seed: RngLike = 1234) -> np.ndarray:
+    """|x| for uniform signed 8-bit inputs (the Sec. 7.2.1 evaluation).
+
+    Ternary weights let the host fold the input's sign into a mask swap,
+    so counters only ever see magnitudes.
+    """
+    rng = as_rng(seed)
+    return np.abs(rng.integers(-128, 128, count))
+
+
+@dataclass(frozen=True)
+class C2MConfig:
+    """A C2M:X design point (paper Sec. 7.1).
+
+    Defaults follow Sec. 7.2.1: radix-4 counters, 64-bit accumulation
+    capacity, ternary operands, IARM scheduling.
+    """
+
+    n_bits: int = 2
+    capacity_bits: int = 64
+    banks: int = 16
+    ternary: bool = True
+    scheduler: str = "iarm"
+    fr_checks: int = 0                 # 0 = unprotected
+    fault_rate: float = 1e-4           # used when protected
+    #: All-bank activation (Sec. 7.2.2): one broadcast command drives the
+    #: same μProgram in every bank -- and every CIM-enabled subarray per
+    #: bank -- at once, so column tiles execute in lockstep.  Higher
+    #: throughput for very wide outputs at proportionally higher power
+    #: (every engaged subarray's row activates per command).
+    all_bank: bool = False
+    geometry: DRAMGeometry = DDR5_4400
+    timing: TimingParams = DDR5_4400_TIMING
+    energy: EnergyModel = DDR5_ENERGY
+
+    @property
+    def n_digits(self) -> int:
+        return digits_for_capacity(self.n_bits, 2 ** self.capacity_bits)
+
+
+class C2MModel:
+    """Latency/energy/area model for Count2Multiply kernels."""
+
+    def __init__(self, config: C2MConfig = C2MConfig(),
+                 value_sample: Optional[Sequence[int]] = None):
+        self.config = config
+        if config.scheduler not in _SCHEDULERS:
+            raise ValueError(f"unknown scheduler {config.scheduler!r}")
+        self._sample = (np.asarray(value_sample)
+                        if value_sample is not None
+                        else uniform_int8_magnitudes())
+        self._ops_per_input_cache: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def ops_per_input(self) -> float:
+        """Mean command sequences per accumulated input element.
+
+        Measured by running the configured scheduler over the value
+        sample (zero inputs are skipped by construction); ternary
+        operands double the passes (increments on the +1 mask,
+        decrements on the -1 mask); protection inflates each op by the
+        Tab. 1 ratio and the correction overhead.
+        """
+        if self._ops_per_input_cache is None:
+            cfg = self.config
+            base = mean_ops_per_value(
+                _SCHEDULERS[cfg.scheduler], self._sample,
+                cfg.n_bits, cfg.n_digits)
+            if cfg.ternary:
+                base *= 2.0
+            if cfg.fr_checks:
+                inflation = (protected_increment_ops(cfg.n_bits,
+                                                     cfg.fr_checks)
+                             / increment_ops(cfg.n_bits))
+                base *= inflation
+                base *= 1.0 + correction_overhead(cfg.fault_rate,
+                                                  cfg.fr_checks)
+            self._ops_per_input_cache = float(base)
+        return self._ops_per_input_cache
+
+    def gemm_aaps(self, shape: GEMMShape, sparsity: float = 0.0) -> float:
+        """Total command sequences for a (possibly sparse) GEMM.
+
+        Sparsity is the fraction of zero input elements, which C2M skips
+        entirely (Sec. 7.2.3).
+        """
+        if not 0.0 <= sparsity < 1.0 + 1e-12:
+            raise ValueError("sparsity must be in [0, 1)")
+        row_bits = self.config.geometry.rank_row_bits
+        col_tiles = -(-shape.n // row_bits)
+        if self.config.all_bank:
+            # One broadcast command serves a tile in every engaged
+            # subarray of every bank simultaneously.
+            col_tiles = -(-col_tiles // self._broadcast_width())
+        effective_inputs = shape.m * shape.k * (1.0 - sparsity)
+        return effective_inputs * col_tiles * self.ops_per_input()
+
+    def _broadcast_width(self) -> int:
+        """Tiles one all-bank command covers (banks x subarrays)."""
+        return (self.config.banks
+                * self.config.geometry.subarrays_per_bank)
+
+    def cost(self, shape: GEMMShape, sparsity: float = 0.0,
+             name: str = "") -> CostReport:
+        aaps = self.gemm_aaps(shape, sparsity)
+        cfg = self.config
+        if cfg.all_bank:
+            # Broadcast commands serialize on the bus (single-bank rate)
+            # but every engaged subarray activates per command: energy
+            # scales with the broadcast width actually used.
+            row_bits = cfg.geometry.rank_row_bits
+            total_tiles = -(-shape.n // row_bits)
+            engaged = min(total_tiles, self._broadcast_width())
+            time_s = time_for_aaps_ns(aaps, 1, cfg.timing) * 1e-9
+            energy = cfg.energy.energy_for_aaps_j(
+                aaps * engaged, time_s)
+        else:
+            time_s = time_for_aaps_ns(aaps, cfg.banks, cfg.timing) * 1e-9
+            energy = cfg.energy.energy_for_aaps_j(aaps, time_s)
+        return CostReport(
+            name=name or f"C2M:{cfg.banks}"
+            + (":all-bank" if cfg.all_bank else ""),
+            nominal_ops=shape.nominal_ops,
+            time_s=time_s, energy_j=energy,
+            area_mm2=cfg.energy.module_area_mm2(),
+            aaps=aaps)
+
+
+def simdram_cost(shape: GEMMShape, banks: int = 16,
+                 config: Optional[SIMDRAMConfig] = None,
+                 name: str = "") -> CostReport:
+    """Cost of the SIMDRAM baseline on the same shape (sparsity-blind)."""
+    cfg = config or SIMDRAMConfig(banks=banks)
+    model = SIMDRAMModel(cfg)
+    aaps = model.gemm_aaps(shape.m, shape.n, shape.k)
+    time_s = time_for_aaps_ns(aaps, cfg.banks, cfg.timing) * 1e-9
+    energy = cfg.energy.energy_for_aaps_j(aaps, time_s)
+    return CostReport(
+        name=name or f"SIMDRAM:{cfg.banks}",
+        nominal_ops=shape.nominal_ops,
+        time_s=time_s, energy_j=energy,
+        area_mm2=cfg.energy.module_area_mm2(),
+        aaps=aaps)
+
+
+def gpu_cost(shape: GEMMShape, include_transfer: bool = True,
+             weights_resident: bool = False,
+             model: Optional[GPUModel] = None,
+             name: str = "GPU") -> CostReport:
+    """Cost of the GPU baseline (latency flat across sparsity)."""
+    gpu = model or GPUModel()
+    time_s = gpu.total_time_s(shape.m, shape.n, shape.k,
+                              include_transfer=include_transfer,
+                              weights_resident=weights_resident)
+    return CostReport(
+        name=name,
+        nominal_ops=shape.nominal_ops,
+        time_s=time_s,
+        energy_j=time_s * gpu.power_w(),
+        area_mm2=gpu.area_mm2)

@@ -1,0 +1,103 @@
+"""Small shared helpers used across the repro package."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Union
+
+import numpy as np
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+def as_rng(seed: RngLike = None) -> np.random.Generator:
+    """Return a numpy Generator from ``None``, an int seed, or a Generator.
+
+    Every stochastic entry point in the package accepts ``seed`` in this
+    form so experiments are reproducible end to end.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def as_bit_array(bits: Iterable[int]) -> np.ndarray:
+    """Normalize an iterable of 0/1 values to a uint8 numpy array."""
+    arr = np.asarray(list(bits) if not isinstance(bits, np.ndarray) else bits)
+    arr = arr.astype(np.uint8)
+    if arr.ndim != 1:
+        raise ValueError(f"expected a 1-D bit vector, got shape {arr.shape}")
+    if not np.isin(arr, (0, 1)).all():
+        raise ValueError("bit vector may only contain 0/1 values")
+    return arr
+
+
+def bitstring(bits: Iterable[int]) -> str:
+    """Render bits LSB-first, the way the paper prints JC states.
+
+    >>> bitstring([1, 1, 0, 0, 0])
+    '11000'
+    """
+    return "".join(str(int(b)) for b in bits)
+
+
+def check_probability(p: float, name: str = "probability") -> float:
+    """Validate that ``p`` lies in [0, 1] and return it as a float."""
+    p = float(p)
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {p}")
+    return p
+
+
+def check_positive(value: int, name: str = "value") -> int:
+    """Validate that ``value`` is a positive integer and return it."""
+    value = int(value)
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (used for speedup summaries)."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("geometric mean of empty sequence")
+    if (arr <= 0).any():
+        raise ValueError("geometric mean requires positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def digits_of(value: int, radix: int, n_digits: Optional[int] = None) -> list:
+    """Decompose ``value`` into base-``radix`` digits, least significant first.
+
+    >>> digits_of(45, 10)
+    [5, 4]
+    >>> digits_of(45, 10, n_digits=4)
+    [5, 4, 0, 0]
+    """
+    if value < 0:
+        raise ValueError("digits_of expects a non-negative value")
+    if radix < 2:
+        raise ValueError("radix must be >= 2")
+    digits = []
+    v = int(value)
+    while v:
+        digits.append(v % radix)
+        v //= radix
+    if not digits:
+        digits = [0]
+    if n_digits is not None:
+        if len(digits) > n_digits:
+            raise ValueError(
+                f"value {value} needs {len(digits)} base-{radix} digits, "
+                f"only {n_digits} available"
+            )
+        digits.extend([0] * (n_digits - len(digits)))
+    return digits
+
+
+def from_digits(digits: Iterable[int], radix: int) -> int:
+    """Inverse of :func:`digits_of` (least-significant digit first)."""
+    total = 0
+    for d in reversed(list(digits)):
+        total = total * radix + int(d)
+    return total

@@ -1,0 +1,15 @@
+"""Shared fixtures for the Count2Multiply test suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """Deterministic per-test RNG."""
+    return np.random.default_rng(0xC2A1)
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running integration/fault sweeps")

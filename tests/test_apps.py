@@ -1,0 +1,202 @@
+"""Application workloads: fast fault models, DNA, BERT proxy, TWN, GCN."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (BertProxy, BertProxyConfig, DNAFilterConfig,
+                        DNAFilterWorkload, FastJCAccumulator,
+                        FastRCAAccumulator, LLAMA_SHAPES, WORKLOAD_NAMES,
+                        GCNConfig, SyntheticCitationGraph,
+                        classification_agreement, conv2d_ternary_cim,
+                        conv2d_ternary_reference, effective_bit_fault_rate,
+                        layer_inventory, random_ternary_layer,
+                        ternarize_weights, token_repetition_histogram)
+
+
+class TestFastSim:
+    def test_jc_fault_free_exact(self, rng):
+        acc = FastJCAccumulator(n_bits=2, n_digits=6, n_lanes=16)
+        ref = np.zeros(16, dtype=np.int64)
+        for _ in range(50):
+            v = int(rng.integers(0, 40))
+            mask = rng.integers(0, 2, 16).astype(np.uint8)
+            acc.accumulate(v, mask)
+            ref += v * mask.astype(np.int64)
+        assert (acc.read() == ref).all()
+
+    def test_jc_signed_stream(self, rng):
+        acc = FastJCAccumulator(n_bits=2, n_digits=7, n_lanes=8)
+        ones = np.ones(8, dtype=np.uint8)
+        acc.accumulate(300, ones)
+        ref = 300
+        for _ in range(30):
+            v = int(rng.integers(-20, 30))
+            acc.accumulate(v, ones)
+            ref += v
+        assert (acc.read() == ref).all()
+
+    def test_rca_fault_free_exact(self, rng):
+        acc = FastRCAAccumulator(width=20, n_lanes=12)
+        ref = np.zeros(12, dtype=np.int64)
+        for _ in range(40):
+            v = int(rng.integers(0, 60))
+            mask = rng.integers(0, 2, 12).astype(np.uint8)
+            acc.accumulate(v, mask)
+            ref += v * mask.astype(np.int64)
+        assert (acc.read(signed=False) == ref).all()
+
+    def test_jc_errors_small_rca_errors_large(self):
+        """The structural contrast behind Fig. 4a."""
+        jc = FastJCAccumulator(n_bits=5, n_digits=3, n_lanes=512,
+                               fault_rate=1e-3, scheme="none", seed=1)
+        rca = FastRCAAccumulator(width=16, n_lanes=512, fault_rate=1e-3,
+                                 scheme="none", seed=1)
+        ones = np.ones(512, dtype=np.uint8)
+        for _ in range(60):
+            jc.accumulate(7, ones)
+            rca.accumulate(7, ones)
+        jc_rmse = np.sqrt(np.mean((jc.read() - 420.0) ** 2))
+        rca_rmse = np.sqrt(np.mean((rca.read(signed=False) - 420.0) ** 2))
+        assert rca_rmse > 10 * jc_rmse
+
+    def test_scheme_rates(self):
+        assert effective_bit_fault_rate(1e-2, "ecc") < \
+            effective_bit_fault_rate(1e-2, "tmr") < \
+            effective_bit_fault_rate(1e-2, "none")
+        with pytest.raises(ValueError):
+            effective_bit_fault_rate(1e-2, "prayer")
+
+
+class TestDNA:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return DNAFilterWorkload(DNAFilterConfig(n_reads=30))
+
+    def test_fault_free_f1_near_unity(self, workload):
+        res = workload.evaluate("jc", 0.0, "none")
+        assert res["f1"] > 0.9
+        assert res["recall"] == 1.0
+        assert res["rmse"] == 0.0
+
+    def test_accumulated_scores_match_exact(self, workload):
+        read = workload.reads[0]
+        acc = workload.make_accumulator("jc", 0.0, "none", seed=1)
+        scores = workload.accumulate_scores(read, acc)
+        assert (scores == workload.exact_scores(read)).all()
+
+    def test_jc_tolerates_more_faults_than_rca(self, workload):
+        f = 1e-4
+        jc = workload.evaluate("jc", f, "none", max_reads=20)["f1"]
+        rca = workload.evaluate("rca", f, "none", max_reads=20)["f1"]
+        assert jc > rca + 0.2
+
+    def test_ecc_restores_f1(self, workload):
+        ecc = workload.evaluate("jc", 1e-2, "ecc", max_reads=20)["f1"]
+        bare = workload.evaluate("jc", 1e-2, "none", max_reads=20)["f1"]
+        assert ecc > 0.9 > bare
+
+    def test_token_histogram_small_values(self):
+        values, counts = token_repetition_histogram(
+            DNAFilterConfig(n_reads=20))
+        p99 = np.percentile(np.repeat(values, counts), 99)
+        assert p99 <= 2 ** 8                  # "circa 4-8 bits" (Fig. 3a)
+
+    def test_unknown_accumulator(self, workload):
+        with pytest.raises(ValueError):
+            workload.make_accumulator("abacus", 0.0, "none")
+
+
+class TestBERTProxy:
+    @pytest.fixture(scope="class")
+    def proxy(self):
+        return BertProxy(BertProxyConfig())
+
+    def test_sw_accuracy_in_bert_band(self, proxy):
+        """Fig. 17b's SW line: usable accuracy (paper band ~70-85 %)."""
+        acc = proxy.accuracy()
+        assert 0.7 < acc <= 1.0
+
+    def test_clean_cim_path_matches_sw(self, proxy):
+        sw = proxy.accuracy(max_samples=20)
+        cim = proxy.accuracy("jc", 0.0, "none", max_samples=20)
+        assert abs(sw - cim) < 0.15
+
+    @pytest.mark.slow
+    def test_rca_collapses_before_jc(self, proxy):
+        f = 1e-3
+        jc = proxy.accuracy("jc", f, "none", max_samples=20)
+        rca = proxy.accuracy("rca", f, "none", max_samples=20)
+        assert jc > rca
+
+    @pytest.mark.slow
+    def test_ecc_holds_at_1e2(self, proxy):
+        acc = proxy.accuracy("jc", 1e-2, "ecc", max_samples=20)
+        assert acc > 0.7                       # paper's MNLI usable bar
+
+
+class TestTWN:
+    def test_ternarize_values(self, rng):
+        w = rng.normal(0, 1, (4, 4))
+        t = ternarize_weights(w)
+        assert set(np.unique(t)).issubset({-1, 0, 1})
+
+    def test_conv_cim_matches_reference(self, rng):
+        x = rng.integers(0, 12, (2, 7, 7))
+        w = random_ternary_layer(2, 3, 3, seed=4)
+        assert (conv2d_ternary_cim(x, w)
+                == conv2d_ternary_reference(x, w)).all()
+
+    def test_reference_matches_direct_convolution(self, rng):
+        x = rng.integers(0, 5, (1, 5, 5))
+        w = random_ternary_layer(1, 1, 3, seed=2)
+        out = conv2d_ternary_reference(x, w)
+        direct = np.zeros((1, 3, 3), dtype=np.int64)
+        for i in range(3):
+            for j in range(3):
+                direct[0, i, j] = int(
+                    (x[0, i:i + 3, j:j + 3] * w[0, 0]).sum())
+        assert (out == direct).all()
+
+
+class TestGCN:
+    def test_forward_exact(self):
+        graph = SyntheticCitationGraph(GCNConfig(
+            n_nodes=30, n_edges=80, n_feats=8, n_hidden=4))
+        res = classification_agreement(graph)
+        assert res["exact"] == 1.0
+        assert res["argmax_agreement"] == 1.0
+
+    def test_adjacency_has_self_loops(self):
+        graph = SyntheticCitationGraph(GCNConfig(n_nodes=20, n_edges=40))
+        assert (np.diag(graph.adjacency) == 1).all()
+
+
+class TestWorkloads:
+    def test_table3_shapes(self):
+        assert LLAMA_SHAPES["V0"].n == 22016
+        assert LLAMA_SHAPES["M3"].m == 8192
+        assert LLAMA_SHAPES["M4"].k == 28672
+        for name, shape in LLAMA_SHAPES.items():
+            assert (shape.m == 1) == name.startswith("V")
+
+    def test_all_inventories_nonempty(self):
+        for name in WORKLOAD_NAMES:
+            layers = layer_inventory(name)
+            assert layers
+            for layer in layers:
+                assert 0.0 <= layer.sparsity < 1.0
+                assert layer.shape.nominal_ops > 0
+
+    def test_vgg16_has_more_convs_than_vgg13(self):
+        v13 = len(layer_inventory("VGG13"))
+        v16 = len(layer_inventory("VGG16"))
+        assert v16 == v13 + 3
+
+    def test_gcn_adjacency_sparsity(self):
+        layers = layer_inventory("GCN")
+        agg = [l for l in layers if l.shape.name.startswith("agg")]
+        assert all(l.sparsity > 0.999 for l in agg)
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            layer_inventory("doom")

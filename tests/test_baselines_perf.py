@@ -1,0 +1,203 @@
+"""Baselines (RCA, SIMDRAM, GPU) and the performance models."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (GPUModel, RCAAccumulator, SIMDRAMConfig,
+                             SIMDRAMModel, rca_masked_add_fast)
+from repro.core.opcount import RCA_OPS_PER_BIT, rca_add_ops
+from repro.dram import FaultModel
+from repro.perf import (C2MConfig, C2MModel, CostReport, GEMMShape,
+                        gpu_cost, simdram_cost)
+
+
+class TestRCAGateLevel:
+    def test_masked_accumulation(self, rng):
+        acc = RCAAccumulator(16, 20)
+        acc.reset()
+        ref = np.zeros(20, dtype=np.int64)
+        for _ in range(30):
+            x = int(rng.integers(0, 300))
+            mask = rng.integers(0, 2, 20).astype(np.uint8)
+            acc.load_mask(mask)
+            acc.add_masked(x)
+            ref = (ref + x * mask.astype(np.int64)) % (1 << 16)
+        assert (acc.read_values() == ref).all()
+
+    def test_signed_twos_complement(self, rng):
+        acc = RCAAccumulator(16, 8)
+        acc.reset()
+        ref = np.zeros(8, dtype=np.int64)
+        for _ in range(25):
+            x = int(rng.integers(-80, 120))
+            mask = rng.integers(0, 2, 8).astype(np.uint8)
+            acc.load_mask(mask)
+            acc.add_masked(x)
+            ref += x * mask.astype(np.int64)
+        assert (acc.read_signed() == ref).all()
+
+    def test_op_count_formula(self):
+        acc = RCAAccumulator(32, 4)
+        acc.reset()
+        acc.load_mask(np.ones(4, dtype=np.uint8))
+        ops = acc.add_masked(123)
+        assert ops == RCA_OPS_PER_BIT * 32 + 1
+        assert rca_add_ops(32) == RCA_OPS_PER_BIT * 32
+
+    def test_fast_model_matches_fault_free(self, rng):
+        bits = np.zeros((24, 12), dtype=np.uint8)
+        ref = np.zeros(12, dtype=np.int64)
+        for _ in range(30):
+            x = int(rng.integers(0, 200))
+            mask = rng.integers(0, 2, 12).astype(np.uint8)
+            bits = rca_masked_add_fast(bits, x, mask)
+            ref += x * mask.astype(np.int64)
+        weights = 1 << np.arange(24, dtype=np.int64)
+        assert ((bits.astype(np.int64) * weights[:, None]).sum(0)
+                == ref).all()
+
+    def test_fast_model_faults_hit_high_bits(self, rng):
+        fm = FaultModel(p_cim=1e-3, seed=2, margin_aware=False)
+        bits = np.zeros((32, 256), dtype=np.uint8)
+        for _ in range(50):
+            bits = rca_masked_add_fast(bits, 3, np.ones(256, np.uint8), fm)
+        weights = 1 << np.arange(32, dtype=np.int64)
+        vals = (bits.astype(np.int64) * weights[:, None]).sum(0)
+        err = np.abs(vals - 150)
+        assert err.max() > 2 ** 16      # catastrophic high-order damage
+
+
+class TestSIMDRAMModel:
+    def test_ops_per_input(self):
+        model = SIMDRAMModel(SIMDRAMConfig(ternary=True,
+                                           accumulator_bits=64))
+        assert model.ops_per_input() == 2 * (rca_add_ops(64) + 1)
+
+    def test_gemm_aaps_column_tiling(self):
+        model = SIMDRAMModel(SIMDRAMConfig())
+        small = model.gemm_aaps(1, 65536, 10)
+        tiled = model.gemm_aaps(1, 65537, 10)
+        assert tiled == 2 * small
+
+    def test_sparsity_blind(self):
+        """SIMDRAM's stream is input-independent (Sec. 7.2.3)."""
+        shape = GEMMShape(4, 100, 50)
+        assert (simdram_cost(shape).time_s
+                == simdram_cost(shape).time_s)
+
+
+class TestGPUModel:
+    def test_gemm_compute_bound(self):
+        gpu = GPUModel()
+        t = gpu.kernel_time_s(8192, 8192, 8192)
+        ops = 2 * 8192 ** 3
+        achieved = ops / t / 1e12
+        assert achieved == pytest.approx(
+            gpu.spec.int8_tensor_tops * gpu.spec.utilization, rel=0.01)
+
+    def test_gemv_memory_bound(self):
+        gpu = GPUModel()
+        t = gpu.kernel_time_s(1, 22016, 8192)
+        weight_bytes = 22016 * 8192 * gpu.weight_bits / 8
+        assert t >= weight_bytes / (gpu.spec.mem_bandwidth_gbs * 1e9)
+
+    def test_transfer_dominates_gemv_latency(self):
+        gpu = GPUModel()
+        total = gpu.total_time_s(1, 22016, 8192)
+        kernel = gpu.kernel_time_s(1, 22016, 8192)
+        assert total > 5 * kernel
+
+    def test_weights_resident_removes_stream(self):
+        gpu = GPUModel()
+        assert (gpu.total_time_s(1, 1000, 1000, weights_resident=True)
+                < gpu.total_time_s(1, 1000, 1000))
+
+
+class TestC2MModel:
+    def test_ops_per_input_reasonable(self):
+        model = C2MModel(C2MConfig())
+        ops = model.ops_per_input()
+        # Two ternary passes of a handful of radix-4 k-ary increments.
+        assert 50 < ops < 500
+
+    def test_protection_inflates_ops(self):
+        plain = C2MModel(C2MConfig()).ops_per_input()
+        prot = C2MModel(C2MConfig(fr_checks=2,
+                                  fault_rate=1e-4)).ops_per_input()
+        ratio = prot / plain
+        # (13n+16)/(7n+7) at n=2 is 2x, plus 19.6% correction.
+        assert ratio == pytest.approx(2.0 * 1.196, rel=0.02)
+
+    def test_sparsity_scales_linearly(self):
+        model = C2MModel(C2MConfig())
+        shape = GEMMShape(1, 1000, 1000)
+        dense = model.gemm_aaps(shape, 0.0)
+        half = model.gemm_aaps(shape, 0.5)
+        assert half == pytest.approx(dense / 2, rel=1e-6)
+
+    def test_bank_scaling(self):
+        shape = GEMMShape(1, 22016, 8192)
+        t1 = C2MModel(C2MConfig(banks=1)).cost(shape).time_s
+        t4 = C2MModel(C2MConfig(banks=4)).cost(shape).time_s
+        t16 = C2MModel(C2MConfig(banks=16)).cost(shape).time_s
+        assert t1 / t4 == pytest.approx(4.0, rel=0.01)
+        assert 1.5 < t4 / t16 < 4.0          # FAW-bound regime
+
+    def test_invalid_sparsity(self):
+        with pytest.raises(ValueError):
+            C2MModel(C2MConfig()).gemm_aaps(GEMMShape(1, 2, 3), -0.1)
+
+    def test_unknown_scheduler(self):
+        with pytest.raises(ValueError):
+            C2MModel(C2MConfig(scheduler="magic"))
+
+
+class TestHeadlineResults:
+    """The paper's top-line comparisons, asserted as invariants."""
+
+    def test_c2m_beats_simdram_everywhere(self):
+        c2m = C2MModel(C2MConfig(banks=16))
+        for shape in (GEMMShape(1, 22016, 8192), GEMMShape(64, 4096, 4096)):
+            c = c2m.cost(shape)
+            s = simdram_cost(shape, banks=16)
+            assert 2.0 < s.time_s / c.time_s < 12.0   # "up to 10x"
+
+    def test_gpu_wins_dense_gemm(self):
+        shape = GEMMShape(8192, 8192, 8192)
+        assert gpu_cost(shape).time_s < C2MModel(
+            C2MConfig(banks=16)).cost(shape).time_s
+
+    def test_gemv_sparsity_crossover_vs_gpu(self):
+        """Fig. 16: C2M overtakes the GPU at moderate GEMV sparsity."""
+        shape = GEMMShape(1, 22016, 8192)
+        c2m = C2MModel(C2MConfig(banks=16))
+        g = gpu_cost(shape)
+        assert c2m.cost(shape, sparsity=0.0).time_s > g.time_s * 0.5
+        assert c2m.cost(shape, sparsity=0.8).time_s < g.time_s
+
+    def test_gemm_needs_extreme_sparsity(self):
+        shape = GEMMShape(8192, 22016, 8192)
+        c2m = C2MModel(C2MConfig(banks=16))
+        g = gpu_cost(shape)
+        assert c2m.cost(shape, sparsity=0.99).time_s > g.time_s
+
+    def test_cim_gops_per_watt_beats_gpu_on_gemv(self):
+        shape = GEMMShape(1, 22016, 8192)
+        c = C2MModel(C2MConfig(banks=16)).cost(shape)
+        g = gpu_cost(shape)
+        assert c.gops_per_watt > 10 * g.gops_per_watt
+
+
+class TestCostReport:
+    def test_derived_metrics(self):
+        r = CostReport("x", nominal_ops=2e9, time_s=1.0, energy_j=10.0,
+                       area_mm2=100.0)
+        assert r.gops == pytest.approx(2.0)
+        assert r.power_w == pytest.approx(10.0)
+        assert r.gops_per_watt == pytest.approx(0.2)
+        assert r.gops_per_mm2 == pytest.approx(0.02)
+
+    def test_normalization(self):
+        a = CostReport("a", 2e9, 1.0, 10.0, 100.0)
+        b = CostReport("b", 2e9, 2.0, 10.0, 100.0)
+        assert a.normalized_to(b)["speedup"] == pytest.approx(2.0)

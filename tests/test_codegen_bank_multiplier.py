@@ -1,0 +1,172 @@
+"""Command-stream generation, multi-subarray banking, and the bit-serial
+multiplier baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.multiplier import BitSerialMultiplier, multiply_ops
+from repro.core.johnson import decode_lanes
+from repro.core.opcount import rca_add_ops
+from repro.dram import AmbitSubarray, FaultModel
+from repro.engine import BankedEngine
+from repro.engine.mapping import CounterLayout
+from repro.isa.codegen import (CommandStream, MicroProgramGenerator,
+                               generation_throughput_estimate)
+from repro.isa.microprogram import MicroProgram
+
+
+class TestCodegen:
+    def _run_stream(self, layout, stream, n_lanes, mask):
+        sa = AmbitSubarray(layout.total_rows, n_lanes)
+        sa.write_data_row(layout.mask_rows[0], mask)
+        MicroProgram("stream", tuple(stream.micro_ops)).run(sa)
+        total = np.zeros(n_lanes, dtype=np.int64)
+        weight = 1
+        for d in range(layout.n_digits):
+            total += decode_lanes(
+                sa.read_rows(layout.digit_bit_rows[d])) * weight
+            weight *= 2 * layout.n_bits
+        return total
+
+    def test_generated_stream_counts_correctly(self, rng):
+        layout = CounterLayout(2, 6)
+        generator = MicroProgramGenerator(layout)
+        values = rng.integers(0, 120, 25)
+        stream = generator.generate_stream(values)
+        mask = np.ones(8, dtype=np.uint8)
+        total = self._run_stream(layout, stream, 8, mask)
+        assert (total == values.sum()).all()
+
+    def test_masked_lanes_skip(self, rng):
+        layout = CounterLayout(5, 3)
+        generator = MicroProgramGenerator(layout)
+        values = rng.integers(0, 60, 10)
+        stream = generator.generate_stream(values)
+        mask = np.array([1, 0, 1, 0], dtype=np.uint8)
+        total = self._run_stream(layout, stream, 4, mask)
+        assert (total == values.sum() * mask).all()
+
+    def test_template_cache_hits(self, rng):
+        layout = CounterLayout(2, 8)
+        generator = MicroProgramGenerator(layout)
+        generator.generate_stream(rng.integers(0, 256, 50))
+        # Radix-4 has only 3 distinct k values per digit position.
+        assert len(generator._increment_cache) <= 3 * 8
+
+    def test_command_expansion(self):
+        layout = CounterLayout(2, 2)
+        generator = MicroProgramGenerator(layout)
+        stream = generator.generate_stream([3])
+        commands = list(stream.commands(bank=5))
+        # Every AAP is 3 primitive commands, every AP is 2.
+        prog = MicroProgram("s", tuple(stream.micro_ops))
+        assert len(commands) == 3 * prog.aap_count + 2 * prog.ap_count
+        assert all(c.bank == 5 for c in commands)
+
+    def test_stream_accounting(self, rng):
+        layout = CounterLayout(2, 6)
+        generator = MicroProgramGenerator(layout)
+        stream = generator.generate_stream([0, 5, 0])
+        assert stream.values_processed == 3
+        assert stream.increments >= 1
+
+    def test_throughput_estimate_fields(self, rng):
+        est = generation_throughput_estimate(rng.integers(0, 256, 200))
+        assert est["ops_generated"] > 0
+        assert est["generation_ops_per_s"] > 0
+        assert est["dram_aap_rate_per_s"] > 1e8
+
+
+class TestBankedEngine:
+    def test_tiling_matches_reference(self, rng):
+        be = BankedEngine(n_bits=2, n_digits=6, n_lanes=40,
+                          lanes_per_subarray=16)
+        assert be.n_tiles == 3
+        ref = np.zeros(40, dtype=np.int64)
+        for _ in range(25):
+            x = int(rng.integers(0, 80))
+            mask = rng.integers(0, 2, 40).astype(np.uint8)
+            be.load_mask(mask)
+            be.accumulate(x)
+            ref += x * mask.astype(np.int64)
+        assert (be.read_values() == ref).all()
+
+    def test_exact_tile_boundary(self, rng):
+        be = BankedEngine(n_bits=2, n_digits=5, n_lanes=32,
+                          lanes_per_subarray=16)
+        assert be.n_tiles == 2
+        be.load_mask(np.ones(32, dtype=np.uint8))
+        be.accumulate(9)
+        assert (be.read_values() == 9).all()
+
+    def test_mask_width_check(self):
+        be = BankedEngine(2, 4, 20, 8)
+        with pytest.raises(ValueError):
+            be.load_mask(np.ones(19, dtype=np.uint8))
+
+    def test_protected_tiles_under_faults(self, rng):
+        fm = FaultModel(p_cim=3e-3, seed=6)
+        be = BankedEngine(n_bits=2, n_digits=5, n_lanes=24,
+                          lanes_per_subarray=8, fault_model=fm,
+                          fr_checks=2)
+        ref = np.zeros(24, dtype=np.int64)
+        for _ in range(8):
+            x = int(rng.integers(1, 40))
+            mask = rng.integers(0, 2, 24).astype(np.uint8)
+            be.load_mask(mask)
+            be.accumulate(x)
+            ref += x * mask.astype(np.int64)
+        assert (be.read_values(strict=False) == ref).all()
+
+
+class TestBitSerialMultiplier:
+    def test_multiply_accumulate(self, rng):
+        mult = BitSerialMultiplier(operand_bits=6, accumulator_bits=20,
+                                   n_lanes=12)
+        mult.reset()
+        b = rng.integers(0, 64, 12)
+        mult.load_multiplicands(b)
+        ref = np.zeros(12, dtype=np.int64)
+        for _ in range(4):
+            a = int(rng.integers(0, 64))
+            mult.multiply_accumulate(a)
+            ref += a * b
+        assert (mult.read_products() == ref).all()
+
+    def test_ops_model_matches_measured(self):
+        mult = BitSerialMultiplier(operand_bits=5, accumulator_bits=16,
+                                   n_lanes=4)
+        mult.reset()
+        mult.load_multiplicands(np.array([1, 2, 3, 4]))
+        mult.multiply_accumulate(7)
+        assert mult.ops_issued == multiply_ops(5, 16)
+
+    def test_much_costlier_than_counting(self, rng):
+        """The Sec. 5.2.3 motivation: CSD counting beats shift-add."""
+        from repro.core.iarm import IARMScheduler
+        from repro.core.opcount import (digits_for_capacity,
+                                        mean_ops_per_value)
+        sample = rng.integers(0, 256, 500)
+        digits = digits_for_capacity(2, 2 ** 32)
+        counting = mean_ops_per_value(IARMScheduler, sample, 2, digits)
+        shift_add = multiply_ops(8, 32)
+        assert shift_add > 10 * counting
+
+    def test_operand_range_checks(self):
+        mult = BitSerialMultiplier(4, 12, 2)
+        with pytest.raises(ValueError):
+            mult.load_multiplicands(np.array([16, 0]))
+        mult.load_multiplicands(np.array([3, 5]))
+        with pytest.raises(ValueError):
+            mult.multiply_accumulate(16)
+
+
+class TestRefreshAwareTiming:
+    def test_refresh_stretches_makespan(self):
+        from repro.dram.timing import DDR5_4400_TIMING, time_for_aaps_ns
+        plain = time_for_aaps_ns(10_000, 16)
+        with_ref = time_for_aaps_ns(10_000, 16, include_refresh=True)
+        assert with_ref == pytest.approx(
+            plain * (1 + DDR5_4400_TIMING.refresh_overhead))
+        # DDR5 duty cycle is a few percent.
+        assert 0.01 < DDR5_4400_TIMING.refresh_overhead < 0.10

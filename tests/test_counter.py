@@ -1,0 +1,138 @@
+"""Multi-digit counter golden model: pendings, rippling, capacity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.counter import (CapacityError, CounterArray,
+                                PendingOverflowError)
+
+
+class TestBasics:
+    def test_capacity(self):
+        assert CounterArray(2, 4, 1).capacity == 4 ** 4
+
+    def test_for_capacity_sizing(self):
+        ca = CounterArray.for_capacity(2, 10_000, 1)
+        assert ca.capacity >= 10_000
+        assert CounterArray.for_capacity(2, 10_000, 1).n_digits == 7
+
+    def test_set_totals_roundtrip(self, rng):
+        ca = CounterArray(3, 4, 10)
+        vals = rng.integers(0, 6 ** 4, 10).tolist()
+        ca.set_totals(vals)
+        assert ca.totals() == vals
+
+    def test_set_totals_range_check(self):
+        ca = CounterArray(2, 2, 1)
+        with pytest.raises(ValueError):
+            ca.set_totals([16])
+
+    def test_totals_includes_pending_weight(self):
+        ca = CounterArray(5, 3, 1)
+        ca.set_totals([9])
+        ca.increment_digit(0, 9)          # 18 -> wrap + pending
+        assert ca.values[0, 0] == 8
+        assert ca.pending[0, 0] == 1
+        assert ca.totals() == [18]
+
+    def test_mask_shape_validation(self):
+        ca = CounterArray(2, 2, 4)
+        with pytest.raises(ValueError):
+            ca.increment_digit(0, 1, mask=np.ones(3, dtype=bool))
+
+
+class TestPendingSemantics:
+    def test_double_wrap_raises(self):
+        ca = CounterArray(5, 2, 1)
+        ca.set_totals([9])
+        ca.increment_digit(0, 9)          # first wrap: pending
+        with pytest.raises(PendingOverflowError):
+            ca.increment_digit(0, 9)      # 17 + 9 wraps again
+
+    def test_resolve_clears_pending(self):
+        ca = CounterArray(5, 2, 1)
+        ca.set_totals([19])
+        ca.increment_digit(0, 1)
+        assert ca.pending[0, 0] == 1
+        ca.resolve_digit(0)
+        assert ca.pending[0, 0] == 0
+        assert ca.totals() == [20]
+
+    def test_opposite_direction_pendings_cancel(self):
+        ca = CounterArray(5, 2, 1)
+        ca.set_totals([9])
+        ca.increment_digit(0, 5)          # 14: pending +1, value 4
+        ca.increment_digit(0, -5)         # back to 9: pending cancels
+        assert ca.pending[0, 0] == 0
+        assert ca.totals() == [9]
+
+    def test_msd_overflow_raises(self):
+        ca = CounterArray(2, 1, 1)
+        ca.set_totals([3])
+        with pytest.raises(CapacityError):
+            ca.increment_digit(0, 1)
+
+    def test_msd_overflow_wraps_when_enabled(self):
+        ca = CounterArray(2, 1, 1, wrap=True)
+        ca.set_totals([3])
+        ca.increment_digit(0, 2)
+        assert ca.totals() == [1]
+
+    def test_resolve_msd_rejected(self):
+        ca = CounterArray(2, 2, 1)
+        with pytest.raises(ValueError):
+            ca.resolve_digit(1)
+
+
+class TestAddValue:
+    def test_ripple_policy_matches_arithmetic(self, rng):
+        ca = CounterArray(2, 8, 16)
+        ref = np.zeros(16, dtype=np.int64)
+        for _ in range(100):
+            x = int(rng.integers(0, 300))
+            mask = rng.integers(0, 2, 16).astype(bool)
+            ca.add_value(x, mask=mask)
+            ref[mask] += x
+        assert ca.totals() == ref.tolist()
+
+    def test_signed_stream(self, rng):
+        ca = CounterArray(5, 4, 8)
+        ca.set_totals([500] * 8)
+        ref = np.full(8, 500, dtype=np.int64)
+        for _ in range(80):
+            x = int(rng.integers(-40, 60))
+            mask = rng.integers(0, 2, 8).astype(bool)
+            if ((ref[mask] + x) < 0).any():
+                continue
+            ca.add_value(x, mask=mask)
+            ref[mask] += x
+        assert ca.totals() == ref.tolist()
+
+    def test_value_exceeding_capacity_rejected(self):
+        ca = CounterArray(2, 2, 1)
+        with pytest.raises(ValueError):
+            ca.add_value(100)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            CounterArray(2, 2, 1).add_value(1, policy="bogus")
+
+    def test_resolve_all_converges_from_saturated_state(self):
+        ca = CounterArray(5, 4, 1)
+        ca.set_totals([999])
+        ca.add_value(999, policy="ripple")
+        assert ca.totals() == [1998]
+        assert not ca.pending.any()
+
+
+@given(n_bits=st.integers(1, 5),
+       values=st.lists(st.integers(0, 255), min_size=1, max_size=40))
+@settings(max_examples=100, deadline=None)
+def test_property_ripple_accumulation(n_bits, values):
+    cap = sum(values) + 1
+    ca = CounterArray.for_capacity(n_bits, max(cap, 2), 3)
+    for v in values:
+        ca.add_value(v)
+    assert ca.totals() == [sum(values)] * 3

@@ -1,0 +1,19 @@
+"""Run the library's docstring examples as tests."""
+
+import doctest
+
+import pytest
+
+import repro.core.kary
+import repro.kernels.bitslice
+import repro.util
+
+
+@pytest.mark.parametrize("module", [
+    repro.util, repro.core.kary, repro.kernels.bitslice])
+def test_doctests(module):
+    result = doctest.testmod(module)
+    # A module with examples must run them all cleanly.
+    assert result.attempted > 0, \
+        f"{module.__name__} lost its doctest examples"
+    assert result.failed == 0

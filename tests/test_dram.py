@@ -1,0 +1,218 @@
+"""DRAM substrate: geometry, timing, command scheduling, subarray, Ambit."""
+
+import numpy as np
+import pytest
+
+from repro.dram import (DDR5_4400, DDR5_4400_TIMING, AmbitSubarray,
+                        CommandScheduler, DRAMGeometry, FaultModel, Port,
+                        Subarray, aap_period_ns, time_for_aaps_ns)
+
+
+class TestGeometry:
+    def test_table2_defaults(self):
+        assert DDR5_4400.chips_per_rank == 8
+        assert DDR5_4400.ecc_chips_per_rank == 1
+        assert DDR5_4400.banks_per_rank == 32
+        assert DDR5_4400.rows_per_subarray == 1024
+        assert DDR5_4400.row_bytes_per_chip == 1024
+
+    def test_rank_row_width(self):
+        assert DDR5_4400.rank_row_bits == 65536
+        assert DDR5_4400.counters_per_subarray_row() == 65536
+
+    def test_ambit_data_rows(self):
+        """Sec. 2.2: r - 10 rows remain for data."""
+        assert DDR5_4400.ambit_data_rows() == 1014
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DRAMGeometry(banks_per_rank=0)
+        with pytest.raises(ValueError):
+            DRAMGeometry(rows_per_subarray=8).ambit_data_rows()
+
+
+class TestTiming:
+    def test_taap_formula(self):
+        t = DDR5_4400_TIMING
+        assert t.t_aap == pytest.approx(t.t_ras + t.t_rp + 4 * t.t_ck)
+
+    def test_single_bank_period(self):
+        """Sec. 7.2.1: one AAP every tAAP + tRRD."""
+        t = DDR5_4400_TIMING
+        assert aap_period_ns(1) == pytest.approx(t.t_aap + t.t_rrd)
+
+    def test_sixteen_banks_faw_bound(self):
+        """Sec. 7.2.1: 16 banks saturate the four-activation window."""
+        t = DDR5_4400_TIMING
+        assert aap_period_ns(16) == pytest.approx(
+            max(t.t_rrd, t.t_faw / 4))
+
+    def test_monotone_in_banks(self):
+        periods = [aap_period_ns(b) for b in (1, 2, 4, 8, 16, 32)]
+        assert periods == sorted(periods, reverse=True)
+
+    def test_time_for_aaps(self):
+        assert time_for_aaps_ns(0, 4) == 0.0
+        one = time_for_aaps_ns(1, 4)
+        many = time_for_aaps_ns(1001, 4)
+        assert many == pytest.approx(one + 1000 * aap_period_ns(4))
+
+    def test_bad_banks(self):
+        with pytest.raises(ValueError):
+            aap_period_ns(0)
+
+
+class TestCommandScheduler:
+    @pytest.mark.parametrize("banks", [1, 2, 4, 8, 16, 32])
+    def test_matches_closed_form(self, banks):
+        """Event-driven replay vs analytical model (our NVMain stand-in)."""
+        sched = CommandScheduler()
+        measured = sched.steady_state_period(banks, probe=1024)
+        assert measured == pytest.approx(aap_period_ns(banks), rel=0.02)
+
+    def test_faw_window_never_violated(self):
+        sched = CommandScheduler()
+        records = sched.schedule([64] * 16)
+        issues = sorted(r.issue_ns for r in records)
+        t_faw = DDR5_4400_TIMING.t_faw
+        for i in range(4, len(issues)):
+            assert issues[i] - issues[i - 4] >= t_faw - 1e-6
+
+    def test_per_bank_spacing(self):
+        sched = CommandScheduler()
+        records = sched.schedule([8, 8])
+        t = DDR5_4400_TIMING
+        for bank in (0, 1):
+            times = [r.issue_ns for r in records if r.bank == bank]
+            gaps = np.diff(sorted(times))
+            assert (gaps >= t.t_aap + t.t_rrd - 1e-6).all()
+
+    def test_no_bank_starves(self):
+        sched = CommandScheduler()
+        records = sched.schedule([16] * 16)
+        finishes = {}
+        for r in records:
+            finishes.setdefault(r.bank, []).append(r.finish_ns)
+        spans = [max(v) for v in finishes.values()]
+        assert max(spans) / min(spans) < 1.2
+
+    def test_makespan_empty(self):
+        assert CommandScheduler().issue_aaps(0, 4) == 0.0
+
+
+class TestSubarray:
+    def test_single_row_activation_refreshes(self, rng):
+        sa = Subarray(4, 16)
+        row = rng.integers(0, 2, 16).astype(np.uint8)
+        sa.write_row(1, row)
+        sensed = sa.activate([Port(1)])
+        assert (sensed == row).all()
+        sa.precharge()
+
+    def test_triple_row_majority_destructive(self):
+        sa = Subarray(3, 4)
+        sa.write_row(0, np.array([1, 1, 0, 0], dtype=np.uint8))
+        sa.write_row(1, np.array([1, 0, 1, 0], dtype=np.uint8))
+        sa.write_row(2, np.array([1, 0, 0, 1], dtype=np.uint8))
+        sensed = sa.activate([Port(0), Port(1), Port(2)])
+        assert (sensed == [1, 0, 0, 0]).all()
+        for r in range(3):                       # destructive overwrite
+            assert (sa.read_row(r) == sensed).all()
+
+    def test_negated_port(self):
+        sa = Subarray(2, 4)
+        sa.write_row(0, np.array([1, 0, 1, 0], dtype=np.uint8))
+        sensed = sa.activate([Port(0, negated=True)])
+        assert (sensed == [0, 1, 0, 1]).all()
+
+    def test_even_row_activation_rejected(self):
+        sa = Subarray(4, 4)
+        with pytest.raises(ValueError):
+            sa.activate([Port(0), Port(1)])
+
+    def test_activate_requires_precharge(self):
+        sa = Subarray(2, 4)
+        sa.activate([Port(0)])
+        with pytest.raises(RuntimeError):
+            sa.activate([Port(1)])
+
+    def test_margin_aware_faults_skip_unanimous(self):
+        fm = FaultModel(p_cim=1.0, seed=1)      # every contested bit flips
+        sa = Subarray(3, 8, fm)
+        ones = np.ones(8, dtype=np.uint8)
+        for r in range(3):
+            sa.write_row(r, ones)
+        sensed = sa.activate([Port(0), Port(1), Port(2)])
+        assert (sensed == 1).all()              # unanimous: full margin
+
+    def test_contested_faults_fire(self):
+        fm = FaultModel(p_cim=1.0, seed=1)
+        sa = Subarray(3, 8, fm)
+        sa.write_row(0, np.ones(8, dtype=np.uint8))
+        sensed = sa.activate([Port(0), Port(1), Port(2)])
+        assert (sensed == 1).all()              # majority 0 flipped to 1
+        assert fm.injected == 8
+
+
+class TestAmbit:
+    def test_b_group_and_or_not(self, rng):
+        sa = AmbitSubarray(6, 32)
+        a = rng.integers(0, 2, 32).astype(np.uint8)
+        b = rng.integers(0, 2, 32).astype(np.uint8)
+        sa.write_data_row(0, a)
+        sa.write_data_row(1, b)
+        # AND via MAJ(a, b, 0)
+        sa.aap("D0", "B0")
+        sa.aap("C0", "B1")
+        sa.aap("D1", "B2")
+        sa.ap("B12")
+        sa.aap("B0", "D2")
+        assert (sa.read_data_row(2) == (a & b)).all()
+        # NOT via the B8 dual-write + DCC0 read
+        sa.aap("D0", "B8")
+        sa.aap("B4", "D3")
+        assert (sa.read_data_row(3) == 1 - a).all()
+
+    def test_footnote2_b11_mapping(self, rng):
+        """B11 = {T0, T1, DCC0} per the paper's remap."""
+        sa = AmbitSubarray(4, 16)
+        x = rng.integers(0, 2, 16).astype(np.uint8)
+        m = rng.integers(0, 2, 16).astype(np.uint8)
+        sa.write_data_row(0, x)
+        sa.write_data_row(1, m)
+        sa.aap("D0", "B0")       # T0 <- x
+        sa.aap("C0", "B1")       # T1 <- 0
+        sa.aap("D1", "B5")       # DCC0 <- NOT m
+        sa.ap("B11")             # MAJ(x, 0, NOT m) = x AND NOT m
+        sa.aap("B0", "D2")
+        assert (sa.read_data_row(2) == (x & (1 - m))).all()
+
+    def test_c_group_constants(self):
+        sa = AmbitSubarray(2, 8)
+        sa.aap("C1", "D0")
+        sa.aap("C0", "D1")
+        assert (sa.read_data_row(0) == 1).all()
+        assert (sa.read_data_row(1) == 0).all()
+
+    def test_sixteen_addresses_resolve(self):
+        sa = AmbitSubarray(2, 4)
+        for i in range(16):
+            ports = sa.resolve(f"B{i}")
+            assert 1 <= len(ports) <= 3
+
+    def test_unknown_address(self):
+        with pytest.raises(KeyError):
+            AmbitSubarray(2, 4).resolve("X9")
+
+    def test_data_row_bounds(self):
+        with pytest.raises(IndexError):
+            AmbitSubarray(2, 4).resolve("D7")
+
+    def test_op_counters(self):
+        sa = AmbitSubarray(2, 4)
+        sa.aap("C0", "D0")
+        sa.ap("B12")
+        assert sa.aap_count == 1 and sa.ap_count == 1
+        assert sa.ops_issued == 2
+        sa.reset_counts()
+        assert sa.ops_issued == 0

@@ -1,0 +1,278 @@
+"""ECC substrate: GF(2^m), Hamming, BCH, TMR, protection analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc import (BCHCode, CIMProtection, GF2m, HAMMING_72_64,
+                       HammingCode, correction_overhead,
+                       monte_carlo_protection, protected_detect_rate,
+                       protected_error_rate, row_detect_rate, table1,
+                       tmr_error_rate, tmr_ops)
+from repro.ecc.tmr import run_with_tmr, vote_rows
+
+
+class TestGF2m:
+    @pytest.mark.parametrize("m", [2, 3, 4, 6, 7, 8])
+    def test_field_axioms(self, m):
+        f = GF2m(m)
+        rng = np.random.default_rng(m)
+        for _ in range(50):
+            a = int(rng.integers(1, f.size))
+            b = int(rng.integers(1, f.size))
+            c = int(rng.integers(0, f.size))
+            assert f.mul(a, f.inv(a)) == 1
+            assert f.div(f.mul(a, b), b) == a
+            # Distributivity.
+            assert (f.mul(a, f.add(b, c))
+                    == f.add(f.mul(a, b), f.mul(a, c)))
+
+    def test_exp_log_consistency(self):
+        f = GF2m(6)
+        for e in range(f.size - 1):
+            assert f.log[f.alpha_pow(e)] == e
+
+    def test_minimal_polynomial_has_element_as_root(self):
+        f = GF2m(6)
+        for e in (1, 2, 3, 5):
+            mp = f.minimal_polynomial(f.alpha_pow(e))
+            assert f.poly_eval(mp, f.alpha_pow(e)) == 0
+
+    def test_zero_division(self):
+        f = GF2m(4)
+        with pytest.raises(ZeroDivisionError):
+            f.inv(0)
+
+    def test_unsupported_degree(self):
+        with pytest.raises(ValueError):
+            GF2m(1)
+
+
+class TestHamming:
+    def test_72_64_dimensions(self):
+        assert HAMMING_72_64.n == 72
+        assert HAMMING_72_64.k == 64
+        assert HAMMING_72_64.r == 7
+
+    def test_roundtrip(self, rng):
+        data = rng.integers(0, 2, (20, 64)).astype(np.uint8)
+        res = HAMMING_72_64.decode(HAMMING_72_64.encode(data))
+        assert not res.detected.any()
+        assert (res.data == data).all()
+
+    def test_corrects_every_single_bit_position(self, rng):
+        data = rng.integers(0, 2, (1, 64)).astype(np.uint8)
+        cw = HAMMING_72_64.encode(data)
+        for pos in range(72):
+            bad = cw.copy()
+            bad[0, pos] ^= 1
+            res = HAMMING_72_64.decode(bad)
+            assert res.corrected[0], pos
+            assert (res.data[0] == data[0]).all(), pos
+
+    def test_detects_double_errors(self, rng):
+        data = rng.integers(0, 2, (1, 64)).astype(np.uint8)
+        cw = HAMMING_72_64.encode(data)
+        for _ in range(40):
+            i, j = rng.choice(72, 2, replace=False)
+            bad = cw.copy()
+            bad[0, i] ^= 1
+            bad[0, j] ^= 1
+            res = HAMMING_72_64.decode(bad)
+            assert res.detected[0] and res.uncorrectable[0]
+
+    def test_xor_homomorphism(self, rng):
+        """The property the whole protection scheme rests on."""
+        a = rng.integers(0, 2, (10, 64)).astype(np.uint8)
+        b = rng.integers(0, 2, (10, 64)).astype(np.uint8)
+        h = HAMMING_72_64
+        assert (h.parity_bits(a ^ b)
+                == (h.parity_bits(a) ^ h.parity_bits(b))).all()
+
+    def test_check_detects_mismatch(self, rng):
+        data = rng.integers(0, 2, (4, 64)).astype(np.uint8)
+        checks = HAMMING_72_64.parity_bits(data)
+        assert not HAMMING_72_64.check(data, checks).any()
+        data[0, 5] ^= 1
+        assert HAMMING_72_64.check(data, checks)[0]
+
+    def test_small_code(self):
+        code = HammingCode(4)
+        assert code.n == 4 + code.r + 1
+        data = np.array([[1, 0, 1, 1]], dtype=np.uint8)
+        assert (code.decode(code.encode(data)).data == data).all()
+
+
+class TestBCH:
+    @pytest.mark.parametrize("m,t", [(6, 2), (7, 2), (7, 3)])
+    def test_corrects_up_to_t(self, m, t, rng):
+        full = BCHCode(m, t)
+        code = BCHCode(m, t, data_bits=min(64, full.k))
+        for _ in range(15):
+            d = rng.integers(0, 2, code.data_bits).astype(np.uint8)
+            cw = code.encode(d)
+            for n_err in range(1, t + 1):
+                bad = cw.copy()
+                for p in rng.choice(len(cw), n_err, replace=False):
+                    bad[p] ^= 1
+                res = code.decode(bad)
+                assert res.corrected and (res.data == d).all()
+
+    def test_detects_beyond_t(self, rng):
+        code = BCHCode(7, 2, data_bits=64)
+        d = rng.integers(0, 2, 64).astype(np.uint8)
+        cw = code.encode(d)
+        for _ in range(25):
+            bad = cw.copy()
+            for p in rng.choice(len(cw), 3, replace=False):
+                bad[p] ^= 1
+            assert code.decode(bad).detected
+
+    def test_clean_word_passes(self, rng):
+        code = BCHCode(6, 2)
+        d = rng.integers(0, 2, code.data_bits).astype(np.uint8)
+        res = code.decode(code.encode(d))
+        assert not res.detected and (res.data == d).all()
+
+    def test_xor_homomorphism(self, rng):
+        code = BCHCode(7, 3, data_bits=64)
+        a = rng.integers(0, 2, 64).astype(np.uint8)
+        b = rng.integers(0, 2, 64).astype(np.uint8)
+        assert (code.parity_bits(a ^ b)
+                == (code.parity_bits(a) ^ code.parity_bits(b))).all()
+
+    def test_check_interface(self, rng):
+        code = BCHCode(6, 2)
+        d = rng.integers(0, 2, code.data_bits).astype(np.uint8)
+        parity = code.parity_bits(d)
+        assert not code.check(d, parity)
+        d[0] ^= 1
+        assert code.check(d, parity)
+
+    def test_generator_dimensions(self):
+        code = BCHCode(7, 2)
+        assert code.n == 127 and code.k == 113 and code.n_parity == 14
+
+
+class TestTMR:
+    def test_error_rate_formula(self):
+        assert tmr_error_rate(0.1) == pytest.approx(3 * 0.01 * 0.9 + 1e-3)
+        assert tmr_ops(100) == 301
+
+    def test_vote_rows_gate_level(self, rng):
+        from repro.dram import AmbitSubarray
+        sa = AmbitSubarray(6, 16)
+        val = rng.integers(0, 2, 16).astype(np.uint8)
+        corrupted = val.copy()
+        corrupted[0] ^= 1
+        sa.write_data_row(0, val)
+        sa.write_data_row(1, val)
+        sa.write_data_row(2, corrupted)
+        vote_rows(sa, [0, 1, 2], 3)
+        assert (sa.read_data_row(3) == val).all()
+
+    def test_run_with_tmr_outvotes_one_bad_replica(self, rng):
+        val = rng.integers(0, 2, 32).astype(np.uint8)
+        def replica(i):
+            if i == 1:
+                return val ^ 1
+            return val
+        assert (run_with_tmr(replica) == val).all()
+
+    def test_tmr_worse_than_ecc(self):
+        """Sec. 3 / Tab. 1: TMR has a higher residual error than ECC."""
+        for f in (1e-1, 1e-2, 1e-4):
+            assert tmr_error_rate(f) > protected_error_rate(f, 2)
+
+
+class TestProtectionAnalysis:
+    PAPER = {
+        (2, 1e-1): (1.4e-3, 3.1e-1), (2, 1e-2): (1.5e-6, 3.5e-2),
+        (2, 1e-4): (1.5e-12, 3.5e-4),
+        (4, 1e-1): (1.4e-5, 4.4e-1), (4, 1e-2): (1.5e-10, 5.4e-2),
+        (4, 1e-4): (1.0e-20, 5.5e-4),
+        (6, 1e-1): (1.4e-7, 5.5e-1), (6, 1e-2): (1.5e-14, 7.3e-2),
+        (6, 1e-4): (1.0e-20, 7.5e-4),
+    }
+
+    @pytest.mark.parametrize("r,f", list(PAPER))
+    def test_table1_cells(self, r, f):
+        paper_err, paper_det = self.PAPER[(r, f)]
+        assert protected_error_rate(f, r) == pytest.approx(
+            paper_err, rel=0.55)        # the floored corner is 1.5x
+        assert protected_detect_rate(f, r) == pytest.approx(
+            paper_det, rel=0.05)
+
+    def test_monte_carlo_agrees_at_high_f(self):
+        mc = monte_carlo_protection(1e-1, 2, trials=300_000, seed=4)
+        assert mc["error_rate"] == pytest.approx(
+            protected_error_rate(1e-1, 2), rel=0.6)
+        # MC detect covers both ANDs of a bit update (2x exposure).
+        assert mc["detect_rate"] > protected_detect_rate(1e-1, 2)
+
+    def test_section732_overheads(self):
+        assert row_detect_rate(1e-4, 2) == pytest.approx(0.164, abs=0.01)
+        assert correction_overhead(1e-4, 2) == pytest.approx(0.196,
+                                                             abs=0.01)
+
+    def test_error_floor(self):
+        assert protected_error_rate(1e-4, 6) == 1e-20
+
+    def test_table1_rows_structure(self):
+        rows = table1()
+        assert [r.fr_checks for r in rows] == [2, 4, 6]
+        assert rows[0].ambit_ops_formula == "13n + 16"
+
+
+class TestCIMProtection:
+    def test_verify_xor_detects_any_single_flip(self, rng):
+        prot = CIMProtection()
+        a = rng.integers(0, 2, 128).astype(np.uint8)
+        b = rng.integers(0, 2, 128).astype(np.uint8)
+        expected = prot.predict_xor_checks(a) ^ prot.checks_of(b)
+        clean = a ^ b
+        assert not prot.verify_xor(clean, expected).any()
+        for pos in rng.choice(128, 20, replace=False):
+            bad = clean.copy()
+            bad[pos] ^= 1
+            assert prot.verify_xor(bad, expected).any(), pos
+
+    def test_complement_checks(self, rng):
+        prot = CIMProtection()
+        row = rng.integers(0, 2, 64).astype(np.uint8)
+        assert (prot.complement_checks(row)
+                == prot.checks_of(1 - row)).all()
+
+    def test_row_padding(self, rng):
+        prot = CIMProtection()
+        row = rng.integers(0, 2, 100).astype(np.uint8)  # not a multiple
+        assert prot.checks_of(row).shape[0] == 2
+
+    def test_run_protected_retries_then_succeeds(self):
+        prot = CIMProtection()
+        attempts = []
+        def block():
+            attempts.append(1)
+        def validate():
+            return len(attempts) >= 3
+        retries = prot.run_protected(block, validate)
+        assert retries == 2
+        assert prot.stats.retries == 2
+
+    def test_retry_exhaustion(self):
+        from repro.ecc import RetryExhaustedError
+        prot = CIMProtection()
+        with pytest.raises(RetryExhaustedError):
+            prot.run_protected(lambda: None, lambda: False, max_retries=3)
+
+
+@given(words=st.integers(1, 6), seed=st.integers(0, 1000))
+@settings(max_examples=50, deadline=None)
+def test_property_hamming_linear(words, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.integers(0, 2, (words, 64)).astype(np.uint8)
+    b = rng.integers(0, 2, (words, 64)).astype(np.uint8)
+    h = HAMMING_72_64
+    assert (h.parity_bits(a ^ b)
+            == (h.parity_bits(a) ^ h.parity_bits(b))).all()

@@ -1,0 +1,118 @@
+"""Energy/area model and assorted thin-coverage paths."""
+
+import numpy as np
+import pytest
+
+from repro.dram import DDR5_ENERGY, EnergyModel
+from repro.engine import CountingEngine
+from repro.dram.energy import DDR5_ENERGY as ENERGY_ALIAS
+from repro.perf.model import uniform_int8_magnitudes
+
+
+class TestEnergyModel:
+    def test_aap_energy_composition(self):
+        e = EnergyModel(e_act_nj=2.0, e_pre_nj=1.0)
+        assert e.e_aap_nj == pytest.approx(5.0)    # 2 ACT + 1 PRE
+        assert e.e_ap_nj == pytest.approx(3.0)     # 1 ACT + 1 PRE
+
+    def test_energy_includes_background(self):
+        e = DDR5_ENERGY
+        dynamic_only = e.energy_for_aaps_j(1000)
+        with_time = e.energy_for_aaps_j(1000, elapsed_s=1.0)
+        assert with_time == pytest.approx(dynamic_only
+                                          + e.background_w)
+
+    def test_average_power(self):
+        e = DDR5_ENERGY
+        p = e.average_power_w(n_aaps=275_000_000, elapsed_s=1.0)
+        # A fully FAW-saturated rank lands at watt-scale power.
+        assert 0.5 < p < 5.0
+        with pytest.raises(ValueError):
+            e.average_power_w(10, 0.0)
+
+    def test_module_area(self):
+        e = DDR5_ENERGY
+        # 8 data + 1 ECC chip, ~1% CIM overhead.
+        assert e.module_area_mm2() == pytest.approx(
+            9 * e.chip_area_mm2 * 1.01)
+
+    def test_shared_instance(self):
+        assert DDR5_ENERGY is ENERGY_ALIAS
+
+
+class TestValueSamplers:
+    def test_uniform_magnitudes_deterministic(self):
+        a = uniform_int8_magnitudes(100, seed=9)
+        b = uniform_int8_magnitudes(100, seed=9)
+        assert (a == b).all()
+        assert a.min() >= 0 and a.max() <= 128
+
+    def test_mean_near_half_range(self):
+        sample = uniform_int8_magnitudes(50_000, seed=3)
+        assert sample.mean() == pytest.approx(64, rel=0.05)
+
+
+class TestEngineMiscPaths:
+    def test_fr_checks_one(self, rng):
+        """A single FR check still detects and corrects (Tab. 1 r=1)."""
+        from repro.dram import FaultModel
+        fm = FaultModel(p_cim=5e-3, seed=8)
+        eng = CountingEngine(n_bits=2, n_digits=4, n_lanes=12,
+                             fault_model=fm, fr_checks=1)
+        eng.load_mask(0, np.ones(12, dtype=np.uint8))
+        total = 0
+        for _ in range(6):
+            x = int(rng.integers(1, 30))
+            eng.accumulate(x)
+            total += x
+        assert (eng.read_values(strict=False) == total).all()
+
+    def test_model_ops_uses_protected_formula_when_protected(self, rng):
+        from repro.core.opcount import protected_increment_ops
+        eng = CountingEngine(n_bits=2, n_digits=3, n_lanes=4, fr_checks=2)
+        eng.load_mask(0, np.ones(4, dtype=np.uint8))
+        eng.accumulate(1)                 # one increment event
+        assert eng.model_ops == protected_increment_ops(2, 2)
+
+    def test_double_flush_is_idempotent(self):
+        eng = CountingEngine(n_bits=2, n_digits=3, n_lanes=4)
+        eng.load_mask(0, np.ones(4, dtype=np.uint8))
+        eng.accumulate(7)
+        first = eng.read_values().copy()
+        eng.flush()
+        assert (eng.read_values() == first).all()
+
+    def test_reading_without_accumulate(self):
+        eng = CountingEngine(n_bits=2, n_digits=3, n_lanes=4)
+        eng.reset_counters()
+        assert (eng.read_values() == 0).all()
+
+
+class TestCostReportEdges:
+    def test_zero_aaps_default(self):
+        from repro.perf import CostReport
+        r = CostReport("x", 1e9, 0.5, 1.0, 10.0)
+        assert r.aaps == 0.0
+        assert r.latency_ms == pytest.approx(500.0)
+
+    def test_gpu_energy_path(self):
+        from repro.baselines import GPUModel
+        gpu = GPUModel()
+        e = gpu.energy_j(64, 64, 64)
+        assert e == pytest.approx(gpu.total_time_s(64, 64, 64)
+                                  * gpu.power_w())
+
+
+class TestLayoutEdges:
+    def test_fits_exact_boundary(self):
+        from repro.engine import CounterLayout
+        lay = CounterLayout(2, 2)
+        assert lay.fits(lay.total_rows)
+        assert not lay.fits(lay.total_rows - 1)
+
+    def test_mask_count_zero_allowed(self):
+        from repro.engine import CounterLayout
+        lay = CounterLayout(2, 2, n_masks=0)
+        assert lay.mask_rows == []
+        with pytest.raises(ValueError):
+            CounterLayout(2, 2, n_masks=-1)

@@ -1,0 +1,176 @@
+"""Gate-level counting engine: layout, accumulation, faults, protection."""
+
+import numpy as np
+import pytest
+
+from repro.core import CounterArray, NaiveKaryScheduler, UnitScheduler
+from repro.dram import FaultModel
+from repro.engine import CounterLayout, CountingEngine
+
+
+class TestLayout:
+    def test_rows_per_counter(self):
+        lay = CounterLayout(5, 3)
+        assert lay.rows_per_counter == 3 * 6          # D * (n + 1)
+
+    def test_row_regions_disjoint(self):
+        lay = CounterLayout(3, 4, n_masks=2, protected=True)
+        seen = set()
+        regions = ([r for rows in lay.digit_bit_rows for r in rows]
+                   + lay.onext_rows + lay.mask_rows + lay.scratch_rows
+                   + [lay.onext_snapshot_row, lay.aux_row,
+                      lay.ir1_row, lay.ir2_row, lay.fr_row, lay.t2_row])
+        for r in regions:
+            assert r not in seen
+            seen.add(r)
+        assert lay.total_rows == len(seen)
+
+    def test_fits(self):
+        lay = CounterLayout(2, 4)
+        assert lay.fits(1014)
+        assert not lay.fits(3)
+
+    def test_unprotected_has_no_ecc_rows(self):
+        lay = CounterLayout(2, 2)
+        assert lay.ir1_row == -1
+
+
+class TestEngineFaultFree:
+    def test_masked_accumulation_matches_reference(self, rng):
+        eng = CountingEngine(n_bits=2, n_digits=6, n_lanes=24)
+        ref = np.zeros(24, dtype=np.int64)
+        for _ in range(40):
+            x = int(rng.integers(0, 200))
+            mask = rng.integers(0, 2, 24).astype(np.uint8)
+            eng.load_mask(0, mask)
+            eng.accumulate(x)
+            ref += x * mask.astype(np.int64)
+        assert (eng.read_values() == ref).all()
+
+    @pytest.mark.parametrize("n_bits", [1, 3, 5])
+    def test_radices(self, n_bits, rng):
+        digits = {1: 10, 3: 4, 5: 4}[n_bits]
+        eng = CountingEngine(n_bits=n_bits, n_digits=digits, n_lanes=8)
+        ref = np.zeros(8, dtype=np.int64)
+        for _ in range(15):
+            x = int(rng.integers(0, 50))
+            mask = rng.integers(0, 2, 8).astype(np.uint8)
+            eng.load_mask(0, mask)
+            eng.accumulate(x)
+            ref += x * mask.astype(np.int64)
+        assert (eng.read_values() == ref).all()
+
+    def test_signed_stream(self, rng):
+        eng = CountingEngine(n_bits=2, n_digits=7, n_lanes=8)
+        ones = np.ones(8, dtype=np.uint8)
+        eng.load_mask(0, ones)
+        eng.accumulate(500)
+        ref = np.full(8, 500, dtype=np.int64)
+        for _ in range(25):
+            x = int(rng.integers(-30, 50))
+            eng.accumulate(x)
+            ref += x
+        assert (eng.read_values() == ref).all()
+
+    def test_alternative_schedulers(self, rng):
+        for sched_cls in (UnitScheduler, NaiveKaryScheduler):
+            eng = CountingEngine(n_bits=2, n_digits=5, n_lanes=8,
+                                 scheduler=sched_cls(2, 5))
+            mask = np.ones(8, dtype=np.uint8)
+            eng.load_mask(0, mask)
+            total = 0
+            for _ in range(10):
+                x = int(rng.integers(0, 60))
+                eng.accumulate(x)
+                total += x
+            assert (eng.read_values() == total).all()
+
+    def test_measured_ops_close_to_model(self, rng):
+        """Executable μPrograms track the 7n+7 formula within ~15 %."""
+        eng = CountingEngine(n_bits=2, n_digits=6, n_lanes=8)
+        eng.load_mask(0, np.ones(8, dtype=np.uint8))
+        for _ in range(20):
+            eng.accumulate(int(rng.integers(1, 250)))
+        eng.flush()
+        assert eng.measured_ops == pytest.approx(eng.model_ops, rel=0.15)
+
+    def test_capacity_error_on_overflow(self):
+        eng = CountingEngine(n_bits=1, n_digits=2, n_lanes=4)
+        eng.load_mask(0, np.ones(4, dtype=np.uint8))
+        with pytest.raises(OverflowError):
+            for _ in range(5):
+                eng.accumulate(3)
+            eng.read_values()
+
+    def test_multiple_masks(self, rng):
+        eng = CountingEngine(n_bits=2, n_digits=5, n_lanes=12, n_masks=2)
+        m0 = rng.integers(0, 2, 12).astype(np.uint8)
+        m1 = 1 - m0
+        eng.load_mask(0, m0)
+        eng.load_mask(1, m1)
+        eng.accumulate(7, mask_index=0)
+        eng.accumulate(11, mask_index=1)
+        want = 7 * m0.astype(np.int64) + 11 * m1.astype(np.int64)
+        assert (eng.read_values() == want).all()
+
+
+class TestEngineFaults:
+    def test_unprotected_engine_corrupts_under_faults(self, rng):
+        fm = FaultModel(p_cim=5e-3, seed=9)
+        eng = CountingEngine(n_bits=2, n_digits=5, n_lanes=32,
+                             fault_model=fm)
+        ref = np.zeros(32, dtype=np.int64)
+        for _ in range(20):
+            x = int(rng.integers(0, 60))
+            mask = rng.integers(0, 2, 32).astype(np.uint8)
+            eng.load_mask(0, mask)
+            eng.accumulate(x)
+            ref += x * mask.astype(np.int64)
+        got = eng.read_values(strict=False)
+        assert fm.injected > 0
+        assert (got != ref).any()
+
+    @pytest.mark.parametrize("p", [1e-3, 1e-2])
+    def test_protected_engine_is_exact(self, p, rng):
+        """Sec. 6 end-to-end: detection + retry yields exact results."""
+        fm = FaultModel(p_cim=p, seed=13)
+        eng = CountingEngine(n_bits=2, n_digits=5, n_lanes=24,
+                             fault_model=fm, fr_checks=2)
+        ref = np.zeros(24, dtype=np.int64)
+        for _ in range(12):
+            x = int(rng.integers(0, 60))
+            mask = rng.integers(0, 2, 24).astype(np.uint8)
+            eng.load_mask(0, mask)
+            eng.accumulate(x)
+            ref += x * mask.astype(np.int64)
+        got = eng.read_values(strict=False)
+        assert (got == ref).all()
+        assert eng.protection.stats.detections > 0
+
+    def test_retry_overhead_grows_with_fault_rate(self, rng):
+        overheads = []
+        for p in (1e-3, 1e-2):
+            fm = FaultModel(p_cim=p, seed=3)
+            eng = CountingEngine(n_bits=2, n_digits=4, n_lanes=16,
+                                 fault_model=fm, fr_checks=2)
+            eng.load_mask(0, np.ones(16, dtype=np.uint8))
+            for _ in range(8):
+                eng.accumulate(int(rng.integers(1, 40)))
+            overheads.append(eng.protection.stats.retry_overhead)
+        assert overheads[1] > overheads[0]
+
+    def test_golden_cross_validation(self, rng):
+        """Engine vs CounterArray on an identical event stream."""
+        eng = CountingEngine(n_bits=3, n_digits=4, n_lanes=10)
+        golden = CounterArray(3, 4, 10)
+        from repro.core import apply_events
+        for _ in range(15):
+            x = int(rng.integers(0, 120))
+            mask = rng.integers(0, 2, 10).astype(np.uint8)
+            eng.load_mask(0, mask)
+            events = eng.scheduler.schedule_value(x)
+            eng.execute_events(events)
+            apply_events(golden, events, mask=mask.astype(bool))
+        eng.execute_events(eng.scheduler.flush())
+        golden.resolve_all()
+        assert (eng.read_values() == np.array(golden.totals())).all()

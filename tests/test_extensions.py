@@ -1,0 +1,115 @@
+"""Extension features: BCH-backed protection, counter relocation,
+all-bank activation, and alternative-backend cost knobs."""
+
+import numpy as np
+import pytest
+
+from repro.dram import FaultModel
+from repro.ecc import BatchedBCH, BCHCode
+from repro.engine import CountingEngine
+from repro.perf import C2MConfig, C2MModel, GEMMShape
+
+
+class TestBCHProtection:
+    def test_engine_with_bch_code_is_exact_under_faults(self, rng):
+        code = BatchedBCH(BCHCode(7, 2, data_bits=64))
+        fm = FaultModel(p_cim=5e-3, seed=17)
+        eng = CountingEngine(n_bits=2, n_digits=4, n_lanes=16,
+                             fault_model=fm, fr_checks=2,
+                             protection_code=code)
+        ref = np.zeros(16, dtype=np.int64)
+        for _ in range(8):
+            x = int(rng.integers(1, 40))
+            mask = rng.integers(0, 2, 16).astype(np.uint8)
+            eng.load_mask(0, mask)
+            eng.accumulate(x)
+            ref += x * mask.astype(np.int64)
+        assert (eng.read_values(strict=False) == ref).all()
+        assert eng.protection.stats.detections > 0
+
+    def test_batched_bch_parity_shape(self, rng):
+        code = BatchedBCH(BCHCode(7, 3, data_bits=64))
+        data = rng.integers(0, 2, (3, 64)).astype(np.uint8)
+        parity = code.parity_bits(data)
+        assert parity.shape == (3, 21)
+
+    def test_batched_bch_homomorphic(self, rng):
+        code = BatchedBCH(BCHCode(7, 2, data_bits=64))
+        a = rng.integers(0, 2, (2, 64)).astype(np.uint8)
+        b = rng.integers(0, 2, (2, 64)).astype(np.uint8)
+        assert (code.parity_bits(a ^ b)
+                == (code.parity_bits(a) ^ code.parity_bits(b))).all()
+
+
+class TestCounterRelocation:
+    def test_export_import_roundtrip(self, rng):
+        """Sec. 5.2.2: park a finished Y row, reuse the counter rows."""
+        eng = CountingEngine(n_bits=2, n_digits=5, n_lanes=12)
+        mask = rng.integers(0, 2, 12).astype(np.uint8)
+        eng.load_mask(0, mask)
+        eng.accumulate(37)
+        first_row = eng.read_values().copy()
+        image = eng.export_counters()
+
+        eng.reset_counters()
+        eng.load_mask(0, np.ones(12, dtype=np.uint8))
+        eng.accumulate(5)
+        assert (eng.read_values() == 5).all()
+
+        eng.import_counters(image)
+        assert (eng.read_values() == first_row).all()
+
+    def test_import_shape_check(self):
+        eng = CountingEngine(n_bits=2, n_digits=3, n_lanes=4)
+        with pytest.raises(ValueError):
+            eng.import_counters(np.zeros((2, 4), dtype=np.uint8))
+
+    def test_gemm_via_relocation(self, rng):
+        """Row-sequential GEMM with export/reset per output row."""
+        x = rng.integers(0, 9, (3, 5))
+        z = rng.integers(0, 2, (5, 10)).astype(np.uint8)
+        eng = CountingEngine(n_bits=2, n_digits=5, n_lanes=10)
+        out = []
+        for o in range(3):
+            eng.reset_counters()
+            for k in range(5):
+                if x[o, k]:
+                    eng.load_mask(0, z[k])
+                    eng.accumulate(int(x[o, k]))
+            out.append(eng.read_values().copy())
+            eng.export_counters()            # park Y[o] elsewhere
+        assert (np.stack(out) == x @ z).all()
+
+
+class TestAllBankActivation:
+    #: 64 column tiles (64 * 65536 outputs).
+    WIDE = GEMMShape(1, 64 * 65536, 1000)
+
+    def test_helps_only_wide_outputs(self):
+        narrow = GEMMShape(1, 22016, 8192)        # one column tile
+        normal = C2MModel(C2MConfig(banks=16))
+        allbank = C2MModel(C2MConfig(banks=16, all_bank=True))
+        # Narrow outputs: broadcast serializes on the bus -> slower.
+        assert (allbank.cost(narrow).time_s
+                > normal.cost(narrow).time_s)
+        # Wide outputs: one command serves all 64 tiles at once.
+        assert (allbank.cost(self.WIDE).time_s
+                < normal.cost(self.WIDE).time_s)
+
+    def test_all_bank_burns_more_power(self):
+        normal = C2MModel(C2MConfig(banks=16)).cost(self.WIDE)
+        allbank = C2MModel(C2MConfig(banks=16,
+                                     all_bank=True)).cost(self.WIDE)
+        assert allbank.power_w > normal.power_w
+
+    def test_all_bank_tile_math(self):
+        model = C2MModel(C2MConfig(banks=16, all_bank=True))
+        plain = C2MModel(C2MConfig(banks=16))
+        # Broadcast width = banks x subarrays = 512 tiles per command.
+        uneven = GEMMShape(1, 4_500_000, 10)      # 69 tiles -> 1 group
+        assert (model.gemm_aaps(uneven) * 69
+                == pytest.approx(plain.gemm_aaps(uneven)))
+        # Beyond the broadcast width, groups grow again.
+        huge = GEMMShape(1, 600 * 65536, 10)      # 600 tiles -> 2 groups
+        assert (model.gemm_aaps(huge) * 300
+                == pytest.approx(plain.gemm_aaps(huge)))

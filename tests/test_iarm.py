@@ -1,0 +1,155 @@
+"""Scheduler correctness: unit / naive k-ary / IARM under arbitrary masks.
+
+The central soundness property: schedules are mask-oblivious, and the
+golden model raises on any deferred-carry violation -- so replaying a
+schedule against random masks proves IARM never lets a lane double-wrap.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.counter import CounterArray
+from repro.core.iarm import (CarryResolve, IARMScheduler, Increment,
+                             NaiveKaryScheduler, UnitScheduler,
+                             apply_events, schedule_stream)
+
+
+def _digits_for(n_bits, cap):
+    d = 1
+    while (2 * n_bits) ** d < cap:
+        d += 1
+    return d
+
+
+def _replay(scheduler_cls, n_bits, values, n_lanes=16, seed=3, **kwargs):
+    cap = int(np.abs(values).sum()) + kwargs.pop("initial", 0) + 2
+    digits = _digits_for(n_bits, cap)
+    sched = scheduler_cls(n_bits, digits, **kwargs)
+    ca = CounterArray(n_bits, digits, n_lanes)
+    rng = np.random.default_rng(seed)
+    ref = np.zeros(n_lanes, dtype=object)
+    for v in values:
+        mask = rng.integers(0, 2, n_lanes).astype(bool)
+        apply_events(ca, sched.schedule_value(int(v)), mask=mask)
+        ref[mask] += int(v)
+    apply_events(ca, sched.flush())
+    ca.resolve_all()
+    assert ca.totals() == [int(r) for r in ref]
+    return sched
+
+
+class TestSchedulers:
+    @pytest.mark.parametrize("cls", [UnitScheduler, NaiveKaryScheduler,
+                                     IARMScheduler])
+    @pytest.mark.parametrize("n_bits", [1, 2, 5])
+    def test_masked_streams(self, cls, n_bits, rng):
+        values = rng.integers(0, 256, 120)
+        _replay(cls, n_bits, values)
+
+    def test_unit_rejects_negative(self):
+        with pytest.raises(ValueError):
+            UnitScheduler(2, 4).schedule_value(-1)
+
+    def test_unit_event_count_matches_paper(self):
+        """Sec. 4.4: D + sum(d_i) unit increments per input."""
+        sched = UnitScheduler(5, 4)
+        events = sched.schedule_value(45)
+        incs = [e for e in events if isinstance(e, Increment)]
+        resolves = [e for e in events if isinstance(e, CarryResolve)]
+        assert len(incs) == 4 + 5              # digits 5 and 4, unary
+        assert all(abs(e.k) == 1 for e in incs)
+        assert len(resolves) == 3              # D - 1 ripple positions
+
+    def test_naive_kary_one_increment_per_nonzero_digit(self):
+        sched = NaiveKaryScheduler(5, 4)
+        events = sched.schedule_value(405)     # digits 5, 0, 4
+        incs = [e for e in events if isinstance(e, Increment)]
+        assert [(e.digit, e.k) for e in incs] == [(0, 5), (2, 4)]
+
+    def test_zero_value_schedules_nothing(self):
+        for cls in (UnitScheduler, NaiveKaryScheduler, IARMScheduler):
+            assert cls(2, 4).schedule_value(0) == []
+
+
+class TestIARM:
+    def test_defers_carries(self):
+        sched = IARMScheduler(5, 5, initial_max=9999)
+        first = sched.schedule_value(9)
+        assert first == [Increment(0, 9)]      # Fig. 9 step 1: no ripple
+
+    def test_flush_after_signed_run_switch(self):
+        sched = IARMScheduler(2, 6)
+        sched.schedule_value(7)
+        events = sched.schedule_value(-3)
+        # The sign switch forces outstanding flags to resolve first.
+        kinds = [type(e) for e in events]
+        assert Increment in kinds
+
+    def test_signed_masked_stream(self, rng):
+        values = rng.integers(-60, 120, 150)
+        # Keep every lane non-negative: start from a cushion.
+        digits = _digits_for(2, 40_000)
+        sched = IARMScheduler(2, digits, initial_max=10_000)
+        ca = CounterArray(2, digits, 8)
+        ca.set_totals([10_000] * 8)
+        ref = np.full(8, 10_000, dtype=object)
+        for v in values:
+            mask = rng.integers(0, 2, 8).astype(bool)
+            if ((ref[mask] + int(v)) < 0).any():
+                continue
+            apply_events(ca, sched.schedule_value(int(v)), mask=mask)
+            ref[mask] += int(v)
+        apply_events(ca, sched.flush())
+        ca.resolve_all()
+        assert ca.totals() == [int(r) for r in ref]
+
+    def test_initial_max_bounds_are_respected(self, rng):
+        """Pre-loaded counters anywhere <= initial_max stay safe."""
+        digits = _digits_for(5, 60_000)
+        for initial in (0, 7, 99, 12345):
+            sched = IARMScheduler(5, digits, initial_max=initial)
+            ca = CounterArray(5, digits, 6)
+            starts = rng.integers(0, initial + 1, 6).tolist()
+            ca.set_totals(starts)
+            for _ in range(60):
+                v = int(rng.integers(0, 256))
+                mask = rng.integers(0, 2, 6).astype(bool)
+                apply_events(ca, sched.schedule_value(v), mask=mask)
+            apply_events(ca, sched.flush())
+
+    def test_capacity_exhaustion_detected_by_golden_model(self):
+        """The scheduler trusts sizing; the golden model enforces it."""
+        from repro.core.counter import CapacityError
+        sched = IARMScheduler(1, 2)            # capacity 4
+        ca = CounterArray(1, 2, 1)
+        with pytest.raises(CapacityError):
+            for _ in range(10):
+                apply_events(ca, sched.schedule_value(3))
+
+    def test_schedule_stream_helper(self):
+        sched = IARMScheduler(2, 6)
+        batches = schedule_stream(sched, [5, 0, 9])
+        assert len(batches) == 4               # 3 values + flush
+        assert batches[1] == []
+
+    def test_iarm_cheaper_than_naive(self, rng):
+        """The whole point: fewer events on the same stream."""
+        values = rng.integers(0, 256, 400)
+        digits = _digits_for(2, int(values.sum()) + 2)
+        iarm_events = sum(
+            len(IARMScheduler(2, digits).schedule_value(int(v)))
+            for v in values)
+        naive_events = sum(
+            len(NaiveKaryScheduler(2, digits).schedule_value(int(v)))
+            for v in values)
+        assert iarm_events < naive_events / 2
+
+
+@given(values=st.lists(st.integers(0, 255), min_size=1, max_size=60),
+       n_bits=st.integers(1, 5))
+@settings(max_examples=60, deadline=None)
+def test_property_iarm_masked_soundness(values, n_bits):
+    """IARM never double-wraps any lane for any mask pattern."""
+    _replay(IARMScheduler, n_bits, np.array(values), n_lanes=8, seed=11)

@@ -1,0 +1,111 @@
+"""Cross-module integration: the full stack from scheduler to subarray
+bits, protected execution under injected faults, and the paper's
+system-level claims exercised end to end."""
+
+import numpy as np
+import pytest
+
+from repro import (C2MConfig, C2MModel, CountingEngine, FaultModel,
+                   GEMMShape, binary_gemv, ternary_gemv)
+from repro.core import CounterArray, IARMScheduler, apply_events
+from repro.dram import CommandScheduler, aap_period_ns
+from repro.ecc import HAMMING_72_64
+from repro.kernels import bitsliced_gemv
+from repro.perf import gpu_cost, simdram_cost
+
+
+class TestFullStackCounting:
+    def test_three_models_agree(self, rng):
+        """Golden CounterArray == fast scheduler replay == gate level."""
+        n_bits, n_digits, lanes = 2, 6, 16
+        engine = CountingEngine(n_bits, n_digits, lanes)
+        golden = CounterArray(n_bits, n_digits, lanes)
+        sched = IARMScheduler(n_bits, n_digits)
+        direct = np.zeros(lanes, dtype=np.int64)
+        for _ in range(30):
+            x = int(rng.integers(0, 150))
+            mask = rng.integers(0, 2, lanes).astype(np.uint8)
+            engine.load_mask(0, mask)
+            events = sched.schedule_value(x)
+            engine.execute_events(events)
+            apply_events(golden, events, mask=mask.astype(bool))
+            direct += x * mask.astype(np.int64)
+        flush = sched.flush()
+        engine.execute_events(flush)
+        apply_events(golden, flush)
+        golden.resolve_all()
+        assert (engine.read_values() == direct).all()
+        assert golden.totals() == direct.tolist()
+
+    def test_mixed_precision_pipeline(self, rng):
+        """int8 x int4 GEMV via CSD slices on the gate-level engine."""
+        x = rng.integers(-20, 21, 6)
+        z = rng.integers(-7, 8, (6, 10))
+        assert (bitsliced_gemv(x, z, max_bits=5) == x @ z).all()
+
+    def test_protected_gemv_under_faults_is_exact(self, rng):
+        x = rng.integers(1, 12, 5)
+        z = rng.integers(0, 2, (5, 16)).astype(np.uint8)
+        fm = FaultModel(p_cim=5e-3, seed=21)
+        got = binary_gemv(x, z, fault_model=fm, fr_checks=2)
+        assert fm.injected > 0
+        assert (got == x @ z).all()
+
+    def test_faulty_unprotected_gemv_is_not(self, rng):
+        x = rng.integers(1, 12, 8)
+        z = rng.integers(0, 2, (8, 64)).astype(np.uint8)
+        fm = FaultModel(p_cim=2e-2, seed=22)
+        got = binary_gemv(x, z, fault_model=fm)
+        assert (got != x @ z).any()
+
+
+class TestECCPlusEngine:
+    def test_row_level_codeword_protection(self, rng):
+        """Counter rows round-trip through the (72,64) DIMM code."""
+        data = rng.integers(0, 2, (8, 64)).astype(np.uint8)
+        cw = HAMMING_72_64.encode(data)
+        cw[3, 17] ^= 1                        # a read-path upset
+        res = HAMMING_72_64.decode(cw)
+        assert res.corrected[3]
+        assert (res.data == data).all()
+
+
+class TestPerformancePipeline:
+    def test_latency_consistent_with_event_scheduler(self):
+        """Closed-form kernel latency == event-driven command replay."""
+        model = C2MModel(C2MConfig(banks=4))
+        shape = GEMMShape(1, 64, 4)
+        aaps = int(round(model.gemm_aaps(shape)))
+        closed = model.cost(shape).time_s * 1e9
+        event = CommandScheduler().issue_aaps(aaps, 4)
+        assert event == pytest.approx(closed, rel=0.05)
+
+    def test_full_comparison_story(self):
+        """One paragraph of the abstract, executed."""
+        shape = GEMMShape(1, 22016, 8192)
+        c2m = C2MModel(C2MConfig(banks=16)).cost(shape)
+        sim = simdram_cost(shape, banks=16)
+        gpu = gpu_cost(shape)
+        assert sim.time_s / c2m.time_s > 2          # headline speedup
+        assert c2m.gops_per_watt > gpu.gops_per_watt
+        assert (c2m.gops_per_mm2 / sim.gops_per_mm2
+                == pytest.approx(sim.time_s / c2m.time_s, rel=0.01))
+
+    def test_bank_period_used_by_model(self):
+        cfg = C2MConfig(banks=16)
+        model = C2MModel(cfg)
+        shape = GEMMShape(1, 100, 100)
+        t = model.cost(shape).time_s * 1e9
+        aaps = model.gemm_aaps(shape)
+        assert t == pytest.approx(
+            cfg.timing.t_aap + (aaps - 1) * aap_period_ns(16), rel=1e-6)
+
+
+class TestTernaryEndToEnd:
+    def test_attention_style_projection(self, rng):
+        """A seq x d ternary projection, one row per GEMV."""
+        seq, d = 4, 12
+        x = rng.integers(-30, 31, (seq, d))
+        w = rng.integers(-1, 2, (d, d)).astype(np.int8)
+        out = np.stack([ternary_gemv(x[i], w) for i in range(seq)])
+        assert (out == x @ w).all()

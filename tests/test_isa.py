@@ -1,0 +1,265 @@
+"""μProgram IR, counting templates, MIG synthesis and NVM backends."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import johnson as J
+from repro.dram import AmbitSubarray
+from repro.isa import (MIG, MagicMachine, MicroProgram, PinatuboMachine,
+                       aap, ap, kary_increment_program, lower_to_ambit,
+                       magic_increment_program, magic_op_count,
+                       masked_update_ops, pinatubo_increment_program,
+                       pinatubo_op_count, protected_masked_update_ops)
+from repro.isa.microprogram import MicroOp, concat
+from repro.isa.templates import carry_resolve_program
+
+
+class TestMicroProgram:
+    def test_op_validation(self):
+        with pytest.raises(ValueError):
+            MicroOp("AAP", "B0")          # missing destination
+        with pytest.raises(ValueError):
+            MicroOp("NOP", "B0")
+
+    def test_counts_and_concat(self):
+        p1 = MicroProgram("a", (aap("C0", "D0"), ap("B12")), (1,))
+        p2 = MicroProgram("b", (aap("C1", "D1"),), (0,))
+        combined = p1 + p2
+        assert combined.aap_count == 2
+        assert combined.ap_count == 1
+        assert combined.checkpoints == (1, 2)
+        assert concat("c", [p1, p2]).checkpoints == (1, 2)
+
+    def test_listing_format(self):
+        p = MicroProgram("demo", (aap("m", "B8"),))
+        assert "AAP m, B8" in p.listing()
+
+
+class TestMaskedUpdate:
+    @pytest.mark.parametrize("invert", [False, True])
+    def test_exhaustive_truth_table(self, invert):
+        """All 8 (dst, src, m) combinations across lanes."""
+        combos = [(d, s, m) for d in (0, 1) for s in (0, 1)
+                  for m in (0, 1)]
+        dst = np.array([c[0] for c in combos], dtype=np.uint8)
+        src = np.array([c[1] for c in combos], dtype=np.uint8)
+        msk = np.array([c[2] for c in combos], dtype=np.uint8)
+        sa = AmbitSubarray(8, len(combos))
+        sa.write_data_row(0, dst)
+        sa.write_data_row(1, src)
+        sa.write_data_row(2, msk)
+        MicroProgram("t", tuple(masked_update_ops(0, 1, 2, invert))).run(sa)
+        s_eff = (1 - src) if invert else src
+        want = (msk & s_eff) | ((1 - msk) & dst)
+        assert (sa.read_data_row(0) == want).all()
+
+    def test_seven_ops_per_bit(self):
+        assert len(masked_update_ops(0, 1, 2, False)) == 7
+        assert len(masked_update_ops(0, 1, 2, True)) == 7
+
+
+class TestKaryIncrementProgram:
+    @pytest.mark.parametrize("n", [2, 3, 5])
+    def test_all_k_gate_level(self, n, rng):
+        lanes_n = 48
+        for k in list(range(1, 2 * n)) + [-x for x in range(1, 2 * n)]:
+            sa = AmbitSubarray(n + 10, lanes_n)
+            values = rng.integers(0, 2 * n, lanes_n)
+            lanes = J.encode_lanes(values, n)
+            for i in range(n):
+                sa.write_data_row(i, lanes[i])
+            mask = rng.integers(0, 2, lanes_n).astype(np.uint8)
+            sa.write_data_row(n, mask)
+            sa.write_data_row(n + 1, np.zeros(lanes_n, np.uint8))
+            prog = kary_increment_program(
+                list(range(n)), n, k, list(range(n + 2, 2 * n + 2)), n + 1)
+            prog.run(sa)
+            got = sa.read_rows(list(range(n)))
+            want = J.step(lanes, k, mask)
+            assert (got == want).all(), (n, k)
+            flag_fn = (J.overflow_after_step if k > 0
+                       else J.underflow_after_step)
+            want_flag = flag_fn(lanes[n - 1], want[n - 1], abs(k), n, mask)
+            assert (sa.read_data_row(n + 1) == want_flag).all(), (n, k)
+
+    def test_op_count_near_paper(self):
+        """7n + gcd saves + overflow block (7n+7 for coprime k<=n)."""
+        prog = kary_increment_program([0, 1, 2, 3, 4], 5, 1,
+                                      [7, 8, 9, 10, 11], 6)
+        assert len(prog) == 7 * 5 + 1 + 7        # == 7n + 8
+
+    def test_insufficient_scratch_raises(self):
+        with pytest.raises(ValueError):
+            kary_increment_program([0, 1, 2, 3], 4, 2, [6], 5)
+
+    def test_overflow_requires_row(self):
+        with pytest.raises(ValueError):
+            kary_increment_program([0, 1], 2, 1, [4], None)
+
+    def test_carry_resolve_clears_flag(self, rng):
+        n, lanes_n = 3, 16
+        sa = AmbitSubarray(n + 8, lanes_n)
+        values = rng.integers(0, 2 * n, lanes_n)
+        lanes = J.encode_lanes(values, n)
+        for i in range(n):
+            sa.write_data_row(i, lanes[i])
+        flags = rng.integers(0, 2, lanes_n).astype(np.uint8)
+        sa.write_data_row(n, flags)                     # O_next of digit 0
+        sa.write_data_row(n + 1, np.zeros(lanes_n, np.uint8))
+        prog = carry_resolve_program(list(range(n)), n, n + 1,
+                                     [n + 2, n + 3, n + 4])
+        prog.run(sa)
+        got = J.decode_lanes(sa.read_rows(list(range(n))))
+        assert (got == (values + flags) % (2 * n)).all()
+        assert (sa.read_data_row(n) == 0).all()         # flag cleared
+
+
+class TestProtectedTemplate:
+    @pytest.mark.parametrize("invert", [False, True])
+    def test_functional(self, invert, rng):
+        sa = AmbitSubarray(10, 64)
+        dst = rng.integers(0, 2, 64).astype(np.uint8)
+        src = rng.integers(0, 2, 64).astype(np.uint8)
+        msk = rng.integers(0, 2, 64).astype(np.uint8)
+        sa.write_data_row(0, dst)
+        sa.write_data_row(1, src)
+        sa.write_data_row(2, msk)
+        prog = protected_masked_update_ops(0, 1, 2, invert, 3, 4, 5, 6)
+        prog.run(sa)
+        s_eff = (1 - src) if invert else src
+        want = (msk & s_eff) | ((1 - msk) & dst)
+        assert (sa.read_data_row(0) == want).all()
+
+    def test_fr_rows_hold_xor(self, rng):
+        """After each checkpoint the FR row equals the pair's XOR."""
+        sa = AmbitSubarray(10, 32)
+        dst = rng.integers(0, 2, 32).astype(np.uint8)
+        src = rng.integers(0, 2, 32).astype(np.uint8)
+        msk = rng.integers(0, 2, 32).astype(np.uint8)
+        sa.write_data_row(0, dst)
+        sa.write_data_row(1, src)
+        sa.write_data_row(2, msk)
+        prog = protected_masked_update_ops(0, 1, 2, False, 3, 4, 5, 6)
+        cp1, cp2 = prog.checkpoints
+        MicroProgram("a", prog.ops[:cp1 + 1]).run(sa)
+        assert (sa.read_data_row(5) == (msk ^ src)).all()
+        MicroProgram("b", prog.ops[cp1 + 1:cp2 + 1]).run(sa)
+        assert (sa.read_data_row(5) == (dst ^ (1 - msk))).all()
+
+
+class TestMIG:
+    def test_simplification_rules(self):
+        mig = MIG(2)
+        a, b = mig.input_lit(0), mig.input_lit(1)
+        assert mig.maj(a, a, b) == a
+        assert mig.maj(a, mig.not_(a), b) == b
+        assert mig.not_(mig.not_(a)) == a
+
+    def test_structural_hashing(self):
+        mig = MIG(3)
+        a, b, c = (mig.input_lit(i) for i in range(3))
+        assert mig.maj(a, b, c) == mig.maj(c, a, b)
+        assert mig.maj_count([mig.maj(a, b, c)]) == 1
+
+    def test_complement_canonicalization(self):
+        mig = MIG(3)
+        a, b, c = (mig.input_lit(i) for i in range(3))
+        lit = mig.maj(mig.not_(a), mig.not_(b), mig.not_(c))
+        plain = mig.maj(a, b, c)
+        assert lit == mig.not_(plain)
+        assert mig.maj_count([lit, plain]) == 1
+
+    def test_xor_truth_table(self):
+        mig = MIG(2)
+        a, b = mig.input_lit(0), mig.input_lit(1)
+        x = mig.xor_(a, b)
+        inputs = np.array([[0, 0, 1, 1], [0, 1, 0, 1]], dtype=np.uint8)
+        assert (mig.evaluate([x], inputs)[0] == [0, 1, 1, 0]).all()
+
+    def test_mux(self):
+        mig = MIG(3)
+        s, t, f = (mig.input_lit(i) for i in range(3))
+        out = mig.mux(s, t, f)
+        inputs = np.array([[0, 0, 1, 1, 0, 1],
+                           [0, 1, 0, 1, 1, 0],
+                           [1, 0, 1, 0, 0, 1]], dtype=np.uint8)
+        want = np.where(inputs[0], inputs[1], inputs[2])
+        assert (mig.evaluate([out], inputs)[0] == want).all()
+
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_property_lowering_matches_evaluation(self, data):
+        """Random MIGs lower to μPrograms computing the same function."""
+        rng_choices = data.draw(st.lists(
+            st.tuples(st.sampled_from(["and", "or", "xor", "maj", "not"]),
+                      st.integers(0, 100), st.integers(0, 100),
+                      st.integers(0, 100)),
+            min_size=1, max_size=8))
+        mig = MIG(4)
+        pool = [mig.input_lit(i) for i in range(4)]
+        for op, ia, ib, ic in rng_choices:
+            a = pool[ia % len(pool)]
+            b = pool[ib % len(pool)]
+            c = pool[ic % len(pool)]
+            if op == "and":
+                pool.append(mig.and_(a, b))
+            elif op == "or":
+                pool.append(mig.or_(a, b))
+            elif op == "xor":
+                pool.append(mig.xor_(a, b))
+            elif op == "maj":
+                pool.append(mig.maj(a, b, c))
+            else:
+                pool.append(mig.not_(a))
+        outs = [pool[-1]]
+        x = np.array([[0, 1] * 8, [0, 0, 1, 1] * 4,
+                      [0] * 8 + [1] * 8, [1, 0] * 8], dtype=np.uint8)
+        ref = mig.evaluate(outs, x)
+        gates = mig.maj_count(outs)
+        sa = AmbitSubarray(5 + gates + 1, 16)
+        for i in range(4):
+            sa.write_data_row(i, x[i])
+        prog = lower_to_ambit(mig, outs, list(range(4)), [4],
+                              list(range(5, 5 + gates)))
+        prog.run(sa)
+        assert (sa.read_data_row(4) == ref[0]).all()
+
+
+class TestNVMBackends:
+    @pytest.mark.parametrize("n", [2, 3, 5, 8])
+    def test_pinatubo_counts(self, n):
+        assert pinatubo_op_count(n) == 3 * n + 4
+
+    @pytest.mark.parametrize("n", [2, 3, 5, 8])
+    def test_magic_counts(self, n):
+        assert magic_op_count(n) == 6 * n + 5     # 6n+4 + 1 setup NOR
+
+    @pytest.mark.parametrize("machine_cls,generator", [
+        (PinatuboMachine, pinatubo_increment_program),
+        (MagicMachine, magic_increment_program)])
+    @pytest.mark.parametrize("n", [2, 3, 5])
+    def test_functional_increment(self, machine_cls, generator, n, rng):
+        lanes_n = 40
+        values = rng.integers(0, 2 * n, lanes_n)
+        lanes = J.encode_lanes(values, n)
+        mask = rng.integers(0, 2, lanes_n).astype(np.uint8)
+        machine = machine_cls(lanes_n)
+        for i in range(n):
+            machine.write(f"b{i}", lanes[i])
+        machine.write("m", mask)
+        machine.write("On", np.zeros(lanes_n, np.uint8))
+        machine.run(generator(n))
+        got = np.stack([machine.read(f"b{i}") for i in range(n)])
+        want = J.step(lanes, 1, mask)
+        assert (got == want).all()
+        flag = J.overflow_after_step(lanes[n - 1], want[n - 1], 1, n, mask)
+        assert (machine.read("On") == flag).all()
+
+    def test_magic_rejects_non_nor(self):
+        from repro.isa.nvm import LogicOp
+        with pytest.raises(ValueError):
+            machine = MagicMachine(4)
+            machine.write("a", np.zeros(4, np.uint8))
+            machine.execute(LogicOp("AND", ("a", "a"), "b"))

@@ -1,0 +1,160 @@
+"""Johnson-counter algebra: encoding, validity, k-ary transitions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import johnson as J
+
+
+class TestEncodeDecode:
+    def test_paper_sequence_radix10(self):
+        """The exact state walk of Sec. 2.4 (LSB-first strings)."""
+        from repro.util import bitstring
+        expected = ["00000", "10000", "11000", "11100", "11110", "11111",
+                    "01111", "00111", "00011", "00001"]
+        for value, want in enumerate(expected):
+            assert bitstring(J.encode(value, 5)) == want
+
+    def test_roundtrip_all_radices(self):
+        for n in range(1, 12):
+            for v in range(2 * n):
+                assert J.decode(J.encode(v, n)) == v
+
+    def test_wraparound_encoding(self):
+        assert J.decode(J.encode(13, 5)) == 3
+
+    def test_decode_rejects_invalid_state(self):
+        with pytest.raises(ValueError):
+            J.decode([1, 0, 1, 0, 0])
+
+    def test_decode_lenient_accepts_invalid_state(self):
+        assert J.decode([1, 0, 1, 0, 0], strict=False) == 2
+
+    def test_validity_counts(self):
+        for n in (1, 3, 5, 8):
+            valid = sum(
+                J.is_valid(np.array([(i >> b) & 1 for b in range(n)],
+                                    dtype=np.uint8))
+                for i in range(2 ** n))
+            assert valid == 2 * n
+
+    def test_lanes_roundtrip(self):
+        values = np.array([0, 3, 7, 9, 5])
+        lanes = J.encode_lanes(values, 5)
+        assert lanes.shape == (5, 5)
+        assert (J.decode_lanes(lanes) == values).all()
+
+
+class TestTransitions:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 7])
+    def test_all_steps_exhaustive(self, n):
+        """Every (state, k) pair including decrements."""
+        for v in range(2 * n):
+            lanes = J.encode(v, n)[:, None]
+            for k in range(-(2 * n - 1), 2 * n):
+                if k == 0:
+                    continue
+                out = J.step(lanes, k)
+                want, _ = J.successor_value(v, k, n)
+                assert J.decode(out[:, 0]) == want, (n, v, k)
+
+    def test_step_zero_is_identity(self):
+        lanes = J.encode_lanes([1, 4, 7], 4)
+        assert (J.step(lanes, 0) == lanes).all()
+
+    def test_mask_zero_lane_untouched(self):
+        lanes = J.encode_lanes([2, 2, 2], 3)
+        mask = np.array([1, 0, 1], dtype=np.uint8)
+        out = J.step(lanes, 3, mask)
+        assert J.decode(out[:, 0]) == 5
+        assert J.decode(out[:, 1]) == 2
+        assert J.decode(out[:, 2]) == 5
+
+    def test_complement_property(self):
+        """state(v + n) == ~state(v) -- the twisted-ring identity."""
+        for n in (2, 5, 6):
+            for v in range(2 * n):
+                assert (J.encode(v + n, n) == 1 - J.encode(v, n)).all()
+
+    def test_pattern_structure_unit(self):
+        p = J.transition_pattern(5, 1)
+        assert len(p.assignments) == 5
+        assert p.cycle_saves == (4,)          # the MSB save of Fig. 6b
+        inverted = [a for a in p.assignments if a.inverted]
+        assert len(inverted) == 1 and inverted[0].dst == 0
+
+    def test_pattern_cycle_saves_gcd(self):
+        # gcd(6, 2) = 2 cycles -> two scratch saves.
+        p = J.transition_pattern(6, 2)
+        assert len(p.cycle_saves) == 2
+
+    def test_pattern_k_equals_n_complements(self):
+        p = J.transition_pattern(4, 4)
+        assert all(a.inverted and a.dst == a.src for a in p.assignments)
+        assert p.cycle_saves == ()
+
+    def test_rejects_bad_widths(self):
+        with pytest.raises(ValueError):
+            J.encode(0, 0)
+
+
+class TestOverflowFlags:
+    @pytest.mark.parametrize("n", [2, 3, 5])
+    def test_overflow_matches_arithmetic(self, n):
+        for v in range(2 * n):
+            old = J.encode(v, n)
+            for k in range(1, 2 * n):
+                new = J.step(old[:, None], k)[:, 0]
+                want, carry = J.successor_value(v, k, n)
+                flag = J.overflow_after_step(
+                    np.array([old[-1]]), np.array([new[-1]]), k, n)
+                assert bool(flag[0]) == carry, (n, v, k)
+
+    @pytest.mark.parametrize("n", [2, 3, 5])
+    def test_underflow_matches_arithmetic(self, n):
+        for v in range(2 * n):
+            old = J.encode(v, n)
+            for k in range(1, 2 * n):
+                new = J.step(old[:, None], -k)[:, 0]
+                want, borrow = J.successor_value(v, -k, n)
+                flag = J.underflow_after_step(
+                    np.array([old[-1]]), np.array([new[-1]]), k, n)
+                assert bool(flag[0]) == borrow, (n, v, k)
+
+    def test_masked_lane_never_flags(self):
+        n = 5
+        old = J.encode(9, n)
+        mask = np.array([0], dtype=np.uint8)
+        new = J.step(old[:, None], 9, mask)[:, 0]
+        flag = J.overflow_after_step(np.array([old[-1]]),
+                                     np.array([new[-1]]), 9, n, mask)
+        assert flag[0] == 0
+
+    def test_range_validation(self):
+        with pytest.raises(ValueError):
+            J.overflow_after_step(np.array([1]), np.array([0]), 10, 5)
+
+
+@given(n=st.integers(1, 10), v=st.integers(0, 100), k=st.integers(-50, 50))
+@settings(max_examples=300, deadline=None)
+def test_property_step_matches_modular_arithmetic(n, v, k):
+    v = v % (2 * n)
+    lanes = J.encode(v, n)[:, None]
+    out = J.step(lanes, k)
+    assert J.decode(out[:, 0]) == (v + k) % (2 * n)
+
+
+@given(n=st.integers(1, 8),
+       values=st.lists(st.integers(0, 15), min_size=1, max_size=8),
+       k=st.integers(1, 15))
+@settings(max_examples=200, deadline=None)
+def test_property_lane_independence(n, values, k):
+    """Each lane advances independently of its neighbors."""
+    values = [v % (2 * n) for v in values]
+    k = 1 + k % (2 * n - 1) if 2 * n > 2 else 1
+    lanes = J.encode_lanes(values, n)
+    out = J.step(lanes, k)
+    for i, v in enumerate(values):
+        assert J.decode(out[:, i]) == (v + k) % (2 * n)

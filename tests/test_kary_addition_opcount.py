@@ -1,0 +1,160 @@
+"""k-ary planning, Algorithm-2 addition, and op-count formulas."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.addition import (add_counter_arrays, add_digit_lanes,
+                                 addition_masks)
+from repro.core.counter import CounterArray
+from repro.core.iarm import CarryResolve, IARMScheduler, Increment
+from repro.core.johnson import encode_lanes
+from repro.core.kary import (DigitStep, fig7_patterns, render_fig7_row,
+                             steps_per_value, value_steps)
+from repro.core import opcount
+
+
+class TestKaryPlanning:
+    def test_paper_example_45(self):
+        """Sec. 5.1: 0b00101101 = 45 unpacks to digits '45' in radix 10."""
+        assert value_steps(45, 10) == [DigitStep(0, 5), DigitStep(1, 4)]
+
+    def test_zero_digits_skipped(self):
+        assert value_steps(405, 10) == [DigitStep(0, 5), DigitStep(2, 4)]
+
+    def test_negative_values(self):
+        assert value_steps(-45, 10) == [DigitStep(0, -5), DigitStep(1, -4)]
+
+    def test_steps_per_value(self):
+        assert steps_per_value(0, 4) == 0
+        assert steps_per_value(255, 4) == 4      # 3333 base 4
+
+    def test_digit_overflow_guard(self):
+        with pytest.raises(ValueError):
+            value_steps(100, 10, n_digits=1)
+
+    def test_fig7_has_all_nine_patterns(self):
+        patterns = fig7_patterns(5)
+        assert sorted(patterns) == list(range(1, 10))
+        for k, p in patterns.items():
+            assert len(p.assignments) == 5       # constant work per step
+
+    def test_fig7_render_labels(self):
+        rows = render_fig7_row(5, 1)
+        assert rows[0] == ("MSB", "LSB+3", False)
+        assert rows[-1] == ("LSB", "MSB", True)
+
+
+class TestAdditionMasks:
+    @pytest.mark.parametrize("n", [2, 3, 5, 8])
+    def test_mask_count_and_coverage(self, n):
+        """Lane j is selected in exactly value(j) of the 2n masks."""
+        values = np.arange(2 * n)
+        masks = addition_masks(encode_lanes(values, n))
+        assert len(masks) == 2 * n
+        totals = np.stack(masks).sum(axis=0)
+        assert (totals == values).all()
+
+    def test_add_digit_lanes_leaves_pendings(self):
+        dst = CounterArray(5, 2, 4)
+        dst.set_totals([8, 9, 3, 0])
+        src = encode_lanes([3, 2, 0, 9], 5)
+        n_incs = add_digit_lanes(dst, 0, src)
+        assert n_incs == 10
+        dst.resolve_all()
+        assert dst.totals() == [11, 11, 3, 9]
+
+    def test_add_counter_arrays(self, rng):
+        a = CounterArray(5, 3, 12)
+        b = CounterArray(5, 3, 12)
+        va = rng.integers(0, 480, 12)
+        vb = rng.integers(0, 480, 12)
+        a.set_totals(va.tolist())
+        b.set_totals(vb.tolist())
+        add_counter_arrays(a, b)
+        assert a.totals() == (va + vb).tolist()
+
+    def test_source_must_be_carry_free(self):
+        a = CounterArray(5, 2, 1)
+        b = CounterArray(5, 2, 1)
+        b.set_totals([19])
+        b.increment_digit(0, 1)
+        with pytest.raises(ValueError):
+            add_counter_arrays(a, b)
+
+    def test_geometry_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            add_counter_arrays(CounterArray(5, 2, 1), CounterArray(4, 2, 1))
+
+
+@given(n=st.integers(1, 6), va=st.integers(0, 500), vb=st.integers(0, 500))
+@settings(max_examples=100, deadline=None)
+def test_property_algorithm2_addition(n, va, vb):
+    digits = 1
+    while (2 * n) ** digits < va + vb + 1:
+        digits += 1
+    a = CounterArray(n, digits, 2)
+    b = CounterArray(n, digits, 2)
+    a.set_totals([va, vb])
+    b.set_totals([vb, va])
+    add_counter_arrays(a, b)
+    assert a.totals() == [va + vb, va + vb]
+
+
+class TestOpCounts:
+    def test_paper_formulas(self):
+        assert opcount.increment_ops(5) == 42               # 7n+7
+        assert opcount.increment_ops(5, opcount.PINATUBO) == 22
+        assert opcount.increment_ops(5, opcount.MAGIC) == 34
+        assert opcount.protected_increment_ops(5, 2) == 81  # 13n+16
+        assert opcount.protected_increment_ops(5, 4) == 141
+        assert opcount.protected_increment_ops(5, 6) == 201
+
+    def test_protected_formula_general(self):
+        for n in (2, 5, 8):
+            for r in (2, 4, 6):
+                assert (opcount.protected_op_formula(n, r)
+                        == (5 * r + 3) * n + 5 * r + 6)
+
+    def test_rca_scaling(self):
+        assert opcount.rca_add_ops(64) == 2 * opcount.rca_add_ops(32)
+
+    def test_event_costs(self):
+        inc = opcount.event_ops(Increment(0, 3), 5)
+        res = opcount.event_ops(CarryResolve(0), 5)
+        assert res == inc + 1                    # flag-clear op
+
+    def test_digits_for_capacity(self):
+        assert opcount.digits_for_capacity(2, 2 ** 64) == 32
+        assert opcount.digits_for_capacity(5, 100) == 2
+        assert opcount.digits_for_capacity(5, 2) == 1
+
+    def test_fig19_checkpoints(self):
+        """Sec. 7.3.3: capacity 100 -> 10 bits radix-10, 7 binary."""
+        assert opcount.jc_bits_required(10, 100) == 10
+        assert opcount.binary_bits_required(100) == 7
+        # Radix 4 matches binary density at power-of-4 capacities.
+        for e in (8, 16, 32):
+            assert (opcount.jc_bits_required(4, 2 ** e)
+                    == opcount.binary_bits_required(2 ** e))
+
+    def test_odd_radix_rejected(self):
+        with pytest.raises(ValueError):
+            opcount.jc_bits_required(5, 100)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            opcount.increment_ops(5, "tpu")
+
+    def test_mean_ops_ordering(self, rng):
+        """IARM < naive k-ary < unit on uniform 8-bit streams."""
+        from repro.core.iarm import (IARMScheduler, NaiveKaryScheduler,
+                                     UnitScheduler)
+        sample = rng.integers(0, 256, 500)
+        digits = opcount.digits_for_capacity(2, 2 ** 32)
+        unit = opcount.mean_ops_per_value(UnitScheduler, sample, 2, digits)
+        kary = opcount.mean_ops_per_value(NaiveKaryScheduler, sample, 2,
+                                          digits)
+        iarm = opcount.mean_ops_per_value(IARMScheduler, sample, 2, digits)
+        assert iarm < kary < unit

@@ -1,0 +1,165 @@
+"""Matrix kernels: GEMV/GEMM, CSD bit-slicing, tensor ops."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CounterArray
+from repro.core.johnson import encode_lanes
+from repro.dram import FaultModel
+from repro.engine import CountingEngine
+from repro.kernels import (binary_gemm, binary_gemv, bitsliced_gemm,
+                           bitsliced_gemv, csd_digits, csd_slices,
+                           engine_vector_add, relu, shift_left,
+                           ternary_gemm, ternary_gemv)
+
+
+class TestGEMV:
+    def test_binary_matches_numpy(self, rng):
+        x = rng.integers(0, 25, 10)
+        z = rng.integers(0, 2, (10, 18)).astype(np.uint8)
+        assert (binary_gemv(x, z) == x @ z).all()
+
+    def test_zero_inputs_are_skipped(self, rng):
+        x = np.zeros(6, dtype=np.int64)
+        z = rng.integers(0, 2, (6, 8)).astype(np.uint8)
+        assert (binary_gemv(x, z) == 0).all()
+
+    def test_binary_rejects_negative(self):
+        with pytest.raises(ValueError):
+            binary_gemv(np.array([-1]), np.ones((1, 2), dtype=np.uint8))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            binary_gemv(np.arange(3), np.ones((4, 2), dtype=np.uint8))
+
+    def test_ternary_matches_numpy(self, rng):
+        x = rng.integers(-12, 13, 9)
+        z = rng.integers(-1, 2, (9, 14)).astype(np.int8)
+        assert (ternary_gemv(x, z) == x @ z).all()
+
+    def test_ternary_rejects_non_ternary(self):
+        with pytest.raises(ValueError):
+            ternary_gemv(np.array([1]), np.array([[2]], dtype=np.int8))
+
+    def test_faulty_gemv_differs_but_bounded(self, rng):
+        x = rng.integers(1, 10, 8)
+        z = rng.integers(0, 2, (8, 32)).astype(np.uint8)
+        fm = FaultModel(p_cim=2e-2, seed=5)
+        got = binary_gemv(x, z, fault_model=fm)
+        exact = x @ z
+        assert fm.injected > 0
+        # Johnson errors stay low-order: no astronomic deviations.
+        assert np.abs(got - exact).max() < exact.sum()
+
+
+class TestGEMM:
+    def test_binary(self, rng):
+        x = rng.integers(0, 8, (5, 7))
+        z = rng.integers(0, 2, (7, 9)).astype(np.uint8)
+        assert (binary_gemm(x, z) == x @ z).all()
+
+    def test_ternary(self, rng):
+        x = rng.integers(-6, 7, (4, 6))
+        z = rng.integers(-1, 2, (6, 8)).astype(np.int8)
+        assert (ternary_gemm(x, z) == x @ z).all()
+
+    def test_gemm_shape_validation(self):
+        with pytest.raises(ValueError):
+            binary_gemm(np.ones((2, 3), dtype=np.int64),
+                        np.ones((4, 2), dtype=np.uint8))
+
+
+class TestCSD:
+    def test_known_decompositions(self):
+        assert csd_digits(7) == [-1, 0, 0, 1]          # 8 - 1
+        assert csd_digits(0) == [0]
+        assert csd_digits(-3) == [1, 0, -1]            # -4 + 1
+
+    @pytest.mark.parametrize("v", range(-64, 65))
+    def test_reconstruction_and_adjacency(self, v):
+        digits = csd_digits(v)
+        assert sum(d << i for i, d in enumerate(digits)) == v
+        for a, b in zip(digits, digits[1:]):
+            assert not (a and b)                       # canonical form
+
+    def test_nonzero_count_at_most_binary(self):
+        """CSD never uses more non-zeros than plain binary."""
+        for v in range(1, 256):
+            csd_nnz = sum(1 for d in csd_digits(v) if d)
+            bin_nnz = bin(v).count("1")
+            assert csd_nnz <= bin_nnz
+
+    def test_range_check(self):
+        with pytest.raises(ValueError):
+            csd_digits(1 << 20, max_bits=16)
+
+    def test_slices_reconstruct_matrix(self, rng):
+        z = rng.integers(-15, 16, (5, 6))
+        total = np.zeros_like(z)
+        for sl in csd_slices(z):
+            total += sl.sign * (1 << sl.power) * sl.mask.astype(np.int64)
+        assert (total == z).all()
+
+    def test_bitsliced_gemv(self, rng):
+        x = rng.integers(-9, 10, 5)
+        z = rng.integers(-7, 8, (5, 7))
+        assert (bitsliced_gemv(x, z, max_bits=6) == x @ z).all()
+
+    def test_bitsliced_gemm(self, rng):
+        x = rng.integers(-5, 6, (3, 4))
+        z = rng.integers(-6, 7, (4, 5))
+        assert (bitsliced_gemm(x, z, max_bits=6) == x @ z).all()
+
+
+class TestTensorOps:
+    def test_shift_left(self, rng):
+        ca = CounterArray(5, 3, 6)
+        vals = rng.integers(0, 60, 6)
+        ca.set_totals(vals.tolist())
+        shift_left(ca, 3)
+        assert ca.totals() == (vals * 8).tolist()
+
+    def test_shift_zero_noop(self):
+        ca = CounterArray(5, 2, 2)
+        ca.set_totals([5, 9])
+        shift_left(ca, 0)
+        assert ca.totals() == [5, 9]
+
+    def test_shift_negative_rejected(self):
+        with pytest.raises(ValueError):
+            shift_left(CounterArray(5, 2, 1), -1)
+
+    def test_relu(self):
+        out = relu([10, 3, 0, 7], [4, 8, 0, 7])
+        assert (out == [6, 0, 0, 0]).all()
+
+    def test_engine_vector_add_single_digit(self, rng):
+        dst = CountingEngine(5, 1, 12, n_masks=1)
+        src = CountingEngine(5, 1, 12, n_masks=1)
+        dv = rng.integers(0, 5, 12)
+        sv = rng.integers(0, 5, 12)
+        for eng, vals in ((dst, dv), (src, sv)):
+            eng.reset_counters()
+            lanes = encode_lanes(vals, 5)
+            for i in range(5):
+                eng.subarray.write_data_row(
+                    eng.layout.digit_bit_rows[0][i], lanes[i])
+        n_incs = engine_vector_add(dst, src)
+        assert n_incs == 10                            # always 2n
+        assert (dst.read_values(strict=False) == dv + sv).all()
+
+    def test_engine_vector_add_geometry_check(self):
+        with pytest.raises(ValueError):
+            engine_vector_add(CountingEngine(5, 1, 4),
+                              CountingEngine(4, 1, 4))
+
+
+@given(k=st.integers(1, 6), n=st.integers(1, 8), seed=st.integers(0, 999))
+@settings(max_examples=40, deadline=None)
+def test_property_binary_gemv(k, n, seed):
+    rng = np.random.default_rng(seed)
+    x = rng.integers(0, 20, k)
+    z = rng.integers(0, 2, (k, n)).astype(np.uint8)
+    assert (binary_gemv(x, z) == x @ z).all()

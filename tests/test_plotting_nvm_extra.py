@@ -1,0 +1,86 @@
+"""ASCII plotting utilities and the NVM decrement programs."""
+
+import numpy as np
+import pytest
+
+from repro.core import johnson as J
+from repro.experiments.plotting import ascii_chart, chart_from_rows
+from repro.isa import PinatuboMachine, pinatubo_decrement_program
+
+
+class TestAsciiChart:
+    def test_basic_layout(self):
+        chart = ascii_chart({"a": [(1, 1), (2, 2), (3, 3)]},
+                            width=20, height=5, title="demo")
+        lines = chart.splitlines()
+        assert lines[0] == "demo"
+        assert any("o" in line for line in lines)
+        assert "o=a" in lines[-1]
+
+    def test_log_axes_extents(self):
+        chart = ascii_chart({"s": [(1e-6, 1e-2), (1e-1, 1e2)]},
+                            log_x=True, log_y=True)
+        assert "0.01" in chart and "100" in chart
+        assert "1e-06" in chart and "0.1" in chart
+
+    def test_multiple_series_markers(self):
+        chart = ascii_chart({"one": [(0, 0), (1, 1)],
+                             "two": [(0, 1), (1, 0)]})
+        assert "o=one" in chart and "x=two" in chart
+
+    def test_empty(self):
+        assert "(no data)" in ascii_chart({}, title="t")
+
+    def test_none_values_skipped(self):
+        chart = ascii_chart({"a": [(0, 1), (1, None), (2, 3)]})
+        assert "o=a" in chart
+
+    def test_chart_from_rows(self):
+        rows = [{"x": 1, "y": 10, "z": 5, "label": "skip-me"},
+                {"x": 2, "y": 20, "z": 2},
+                {"x": "RCA", "y": 99, "z": 99}]    # non-numeric x dropped
+        chart = chart_from_rows(rows, "x")
+        assert "o=y" in chart and "x=z" in chart
+        assert "99" not in chart.splitlines()[0]
+
+    def test_chart_from_rows_explicit_keys(self):
+        rows = [{"x": 1, "y": 1, "z": 1}, {"x": 2, "y": 4, "z": 8}]
+        chart = chart_from_rows(rows, "x", y_keys=["z"])
+        assert "o=z" in chart and "y" not in chart.split("|")[-1]
+
+
+class TestNVMDecrement:
+    @pytest.mark.parametrize("n", [2, 3, 5])
+    def test_pinatubo_masked_decrement(self, n, rng):
+        lanes_n = 32
+        values = rng.integers(0, 2 * n, lanes_n)
+        lanes = J.encode_lanes(values, n)
+        mask = rng.integers(0, 2, lanes_n).astype(np.uint8)
+        machine = PinatuboMachine(lanes_n)
+        for i in range(n):
+            machine.write(f"b{i}", lanes[i])
+        machine.write("m", mask)
+        machine.write("On", np.zeros(lanes_n, np.uint8))
+        machine.run(pinatubo_decrement_program(n))
+        got = np.stack([machine.read(f"b{i}") for i in range(n)])
+        want = J.step(lanes, -1, mask)
+        assert (got == want).all()
+        flag = J.underflow_after_step(lanes[n - 1], want[n - 1], 1, n,
+                                      mask)
+        assert (machine.read("On") == flag).all()
+
+    def test_decrement_then_increment_roundtrip(self, rng):
+        from repro.isa import pinatubo_increment_program
+        n, lanes_n = 4, 16
+        values = rng.integers(1, 2 * n, lanes_n)   # avoid wrap effects
+        lanes = J.encode_lanes(values, n)
+        ones = np.ones(lanes_n, dtype=np.uint8)
+        machine = PinatuboMachine(lanes_n)
+        for i in range(n):
+            machine.write(f"b{i}", lanes[i])
+        machine.write("m", ones)
+        machine.write("On", np.zeros(lanes_n, np.uint8))
+        machine.run(pinatubo_decrement_program(n))
+        machine.run(pinatubo_increment_program(n))
+        got = np.stack([machine.read(f"b{i}") for i in range(n)])
+        assert (got == lanes).all()

@@ -1,0 +1,33 @@
+"""The experiment runner CLI."""
+
+import pytest
+
+from repro.experiments.runner import main
+
+
+class TestRunnerCLI:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig16" in out and "table1" in out
+
+    def test_single_experiment(self, capsys):
+        assert main(["fig19"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 19" in out
+        assert "regenerated in" in out
+
+    def test_chart_flag(self, capsys):
+        assert main(["fig19", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "[fig19 chart]" in out
+        assert "o=binary" in out
+
+    def test_chartless_experiment_still_runs(self, capsys):
+        assert main(["fig07", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "chart]" not in out      # no spec registered for fig07
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            main(["fig99"])

@@ -1,0 +1,82 @@
+"""Stateful property testing: the counting stack as a state machine.
+
+Hypothesis drives random interleavings of masked accumulates, flushes
+and read-outs against three implementations at once -- the golden
+CounterArray, the fast lane-array model, and plain integer arithmetic --
+and requires them to agree at every observation point.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (RuleBasedStateMachine, initialize,
+                                 invariant, precondition, rule)
+
+from repro.apps.fastsim import FastJCAccumulator
+from repro.core.counter import CounterArray
+from repro.core.iarm import IARMScheduler, apply_events
+
+N_LANES = 6
+N_BITS = 2
+N_DIGITS = 9          # capacity 4^9 = 262144
+BUDGET = 200_000
+
+
+class CountingMachine(RuleBasedStateMachine):
+    """Random masked accumulation streams across three models."""
+
+    @initialize()
+    def setup(self):
+        self.golden = CounterArray(N_BITS, N_DIGITS, N_LANES)
+        self.scheduler = IARMScheduler(N_BITS, N_DIGITS)
+        self.fast = FastJCAccumulator(n_bits=N_BITS, n_digits=N_DIGITS,
+                                      n_lanes=N_LANES)
+        self.reference = np.zeros(N_LANES, dtype=np.int64)
+        self.headroom = BUDGET
+
+    @rule(value=st.integers(1, 255),
+          mask_bits=st.integers(0, 2 ** N_LANES - 1))
+    def accumulate(self, value, mask_bits):
+        if self.headroom < value:
+            return
+        self.headroom -= value
+        mask = np.array([(mask_bits >> i) & 1 for i in range(N_LANES)],
+                        dtype=np.uint8)
+        events = self.scheduler.schedule_value(value)
+        apply_events(self.golden, events, mask=mask.astype(bool))
+        self.fast.accumulate(value, mask)
+        self.reference += value * mask.astype(np.int64)
+
+    @rule(value=st.integers(1, 100),
+          mask_bits=st.integers(1, 2 ** N_LANES - 1))
+    @precondition(lambda self: (self.reference > 120).all())
+    def decrement(self, value, mask_bits):
+        mask = np.array([(mask_bits >> i) & 1 for i in range(N_LANES)],
+                        dtype=np.uint8)
+        events = self.scheduler.schedule_value(-value)
+        apply_events(self.golden, events, mask=mask.astype(bool))
+        self.fast.accumulate(-value, mask)
+        self.reference -= value * mask.astype(np.int64)
+
+    @rule()
+    def flush(self):
+        events = self.scheduler.flush()
+        apply_events(self.golden, events)
+        for ev in events:
+            self.fast._resolve(ev.digit, ev.direction)
+
+    @invariant()
+    def all_models_agree(self):
+        if not hasattr(self, "golden"):
+            return
+        # Reading is non-destructive on every model.
+        golden_now = CounterArray(N_BITS, N_DIGITS, N_LANES)
+        golden_now.values[:] = self.golden.values
+        golden_now.pending[:] = self.golden.pending
+        golden_now.resolve_all()
+        assert golden_now.totals() == self.reference.tolist()
+
+
+CountingMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None)
+TestCountingMachine = CountingMachine.TestCase

@@ -1,0 +1,139 @@
+"""Utility helpers and fault-model details."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram import DRAM_READ_FAULT_RATE, FaultModel, Port, Subarray
+from repro.util import (as_bit_array, as_rng, bitstring, check_positive,
+                        check_probability, digits_of, from_digits,
+                        geometric_mean)
+
+
+class TestUtil:
+    def test_as_rng_idempotent(self):
+        rng = np.random.default_rng(5)
+        assert as_rng(rng) is rng
+        assert isinstance(as_rng(7), np.random.Generator)
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_as_bit_array_validation(self):
+        assert (as_bit_array([1, 0, 1]) == [1, 0, 1]).all()
+        with pytest.raises(ValueError):
+            as_bit_array([0, 2])
+        with pytest.raises(ValueError):
+            as_bit_array(np.zeros((2, 2)))
+
+    def test_bitstring(self):
+        assert bitstring([1, 1, 0, 0, 0]) == "11000"
+
+    def test_checks(self):
+        assert check_probability(0.5) == 0.5
+        with pytest.raises(ValueError):
+            check_probability(1.5)
+        assert check_positive(3) == 3
+        with pytest.raises(ValueError):
+            check_positive(0)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2, 8]) == pytest.approx(4.0)
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1, -1])
+
+    def test_digits_roundtrip_examples(self):
+        assert digits_of(45, 10) == [5, 4]
+        assert digits_of(0, 7) == [0]
+        assert from_digits([5, 4], 10) == 45
+        with pytest.raises(ValueError):
+            digits_of(-1, 10)
+        with pytest.raises(ValueError):
+            digits_of(100, 10, n_digits=1)
+
+
+@given(value=st.integers(0, 10 ** 9), radix=st.integers(2, 40))
+@settings(max_examples=200, deadline=None)
+def test_property_digits_roundtrip(value, radix):
+    assert from_digits(digits_of(value, radix), radix) == value
+
+
+class TestFaultModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultModel(p_cim=2.0)
+
+    def test_read_rate_applies_to_single_rows(self):
+        fm = FaultModel(p_cim=0.0, p_read=1.0, seed=0)
+        bits = np.zeros(16, dtype=np.uint8)
+        out = fm.corrupt(bits, multi_row=False)
+        assert (out == 1).all()
+
+    def test_margin_aware_splits_rates(self):
+        fm = FaultModel(p_cim=1.0, p_read=0.0, seed=0)
+        bits = np.zeros(8, dtype=np.uint8)
+        contested = np.array([1, 1, 1, 1, 0, 0, 0, 0], dtype=bool)
+        out = fm.corrupt(bits, multi_row=True, contested=contested)
+        assert (out[:4] == 1).all()         # contested columns flip
+        assert (out[4:] == 0).all()         # unanimous columns protected
+
+    def test_margin_unaware_hits_everything(self):
+        fm = FaultModel(p_cim=1.0, margin_aware=False, seed=0)
+        bits = np.zeros(8, dtype=np.uint8)
+        contested = np.zeros(8, dtype=bool)
+        out = fm.corrupt(bits, multi_row=True, contested=contested)
+        assert (out == 1).all()
+
+    def test_injected_counter_and_reset(self):
+        fm = FaultModel(p_cim=1.0, seed=0)
+        fm.corrupt(np.zeros(10, dtype=np.uint8), multi_row=True)
+        assert fm.injected == 10
+        fm.reset_counts()
+        assert fm.injected == 0
+
+    def test_read_floor_constant(self):
+        assert DRAM_READ_FAULT_RATE == 1e-20
+
+    def test_statistical_rate(self):
+        fm = FaultModel(p_cim=0.1, seed=42)
+        bits = np.zeros(200_000, dtype=np.uint8)
+        out = fm.corrupt(bits, multi_row=True)
+        assert out.mean() == pytest.approx(0.1, rel=0.05)
+
+
+class TestSubarrayFaultPropagation:
+    def test_tra_fault_lands_in_all_activated_cells(self):
+        """Destructive writes spread the corrupted sensed value."""
+        fm = FaultModel(p_cim=1.0, seed=1)
+        sa = Subarray(3, 4, fm)
+        sa.write_row(0, np.array([1, 1, 1, 1], dtype=np.uint8))
+        sa.write_row(1, np.array([1, 1, 1, 1], dtype=np.uint8))
+        sa.write_row(2, np.array([0, 0, 0, 0], dtype=np.uint8))
+        sensed = sa.activate([Port(0), Port(1), Port(2)])
+        assert (sensed == 0).all()           # majority 1 flipped to 0
+        for r in range(3):
+            assert (sa.read_row(r) == 0).all()
+
+    def test_stats_track_multi_row(self):
+        sa = Subarray(3, 4)
+        sa.activate([Port(0)])
+        sa.precharge()
+        sa.activate([Port(0), Port(1), Port(2)])
+        total, multi = sa.stats()
+        assert total == 2 and multi == 1
+
+
+@given(seed=st.integers(0, 500), rows=st.integers(3, 7))
+@settings(max_examples=60, deadline=None)
+def test_property_odd_majority_is_majority(seed, rows):
+    if rows % 2 == 0:
+        rows += 1
+    rng = np.random.default_rng(seed)
+    sa = Subarray(rows, 16)
+    data = rng.integers(0, 2, (rows, 16)).astype(np.uint8)
+    for r in range(rows):
+        sa.write_row(r, data[r])
+    sensed = sa.activate([Port(r) for r in range(rows)])
+    want = (data.sum(axis=0) * 2 > rows).astype(np.uint8)
+    assert (sensed == want).all()
