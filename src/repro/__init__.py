@@ -23,8 +23,8 @@ Quick start::
 
 from repro.core import (CounterArray, IARMScheduler, NaiveKaryScheduler,
                         UnitScheduler)
-from repro.dram import AmbitSubarray, FaultModel
-from repro.engine import CountingEngine
+from repro.dram import AmbitSubarray, FaultModel, WordlineSubarray
+from repro.engine import BankCluster, CountingEngine
 from repro.kernels import (binary_gemm, binary_gemv, bitsliced_gemv,
                            ternary_gemm, ternary_gemv)
 from repro.perf import C2MConfig, C2MModel, GEMMShape
@@ -33,8 +33,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "CounterArray", "IARMScheduler", "NaiveKaryScheduler", "UnitScheduler",
-    "AmbitSubarray", "FaultModel",
-    "CountingEngine",
+    "AmbitSubarray", "FaultModel", "WordlineSubarray",
+    "BankCluster", "CountingEngine",
     "binary_gemm", "binary_gemv", "bitsliced_gemv", "ternary_gemm",
     "ternary_gemv",
     "C2MConfig", "C2MModel", "GEMMShape",

@@ -76,14 +76,17 @@ def gcn_forward_reference(graph: SyntheticCitationGraph) -> np.ndarray:
 
 
 def gcn_forward_cim(graph: SyntheticCitationGraph,
-                    n_bits: int = 2, **kernel_kwargs) -> np.ndarray:
+                    n_bits: int = 2, backend: str = "fast",
+                    **kernel_kwargs) -> np.ndarray:
     """Forward pass with every matmul on the CIM kernels.
 
     Feature transforms use the ternary GEMM; aggregations use the binary
     GEMM with the adjacency rows as masks (values must be non-negative,
     so aggregation happens after the ReLU and on split pos/neg parts for
-    the first layer).
+    the first layer).  ``backend="fast"`` (default) routes every GEMM
+    through the batched word-parallel bank cluster.
     """
+    kernel_kwargs = dict(kernel_kwargs, backend=backend)
     xw = ternary_gemm(graph.features, graph.w1, n_bits=n_bits,
                       **kernel_kwargs)
     # Aggregate signed values as pos/neg masked accumulations.

@@ -49,17 +49,21 @@ def conv2d_ternary_reference(x: np.ndarray, w: np.ndarray) -> np.ndarray:
 
 
 def conv2d_ternary_cim(x: np.ndarray, w: np.ndarray,
-                       n_bits: int = 2, **kernel_kwargs) -> np.ndarray:
+                       n_bits: int = 2, backend: str = "fast",
+                       **kernel_kwargs) -> np.ndarray:
     """The same convolution through the gate-level CIM GEMM.
 
     The im2col patch matrix is the integer operand X (one output pixel
     per row); the flattened filters are the ternary mask matrix Z.
+    ``backend`` selects the batched word-parallel cluster (``"fast"``,
+    default) or the per-bit reference (``"bit"``); both return identical
+    results in fault-free runs.
     """
     f, c, k, _ = w.shape
     cols, h_out, w_out = im2col(x, k)
     z = w.reshape(f, -1).T.astype(np.int8)         # [C*k*k, F]
     out = ternary_gemm(cols.astype(np.int64), z, n_bits=n_bits,
-                       **kernel_kwargs)
+                       backend=backend, **kernel_kwargs)
     return out.T.reshape(f, h_out, w_out)
 
 

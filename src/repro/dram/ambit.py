@@ -120,6 +120,14 @@ class AmbitSubarray:
         self.array.precharge()
         self.ap_count += 1
 
+    def run_program(self, program) -> None:
+        """Execute a μProgram op by op (the bit-accurate reference path).
+
+        The word-parallel backend overrides this with a compiled fast
+        path; sharing the entry point lets the engine stay backend-blind.
+        """
+        program.run(self)
+
     # ------------------------------------------------------------------
     # host-side access (RD/WR path; used to stage operands and read out)
     # ------------------------------------------------------------------

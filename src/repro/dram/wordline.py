@@ -1,0 +1,268 @@
+"""Word-parallel CIM subarray: AAP/AP on packed ``uint64`` words.
+
+:class:`WordlineSubarray` is the fast functional backend.  It models the
+exact same Ambit command set as :class:`~repro.dram.ambit.AmbitSubarray`
+-- the B/C/D row-address space, destructive triple-row majority, DCC
+negation, RowClone copies -- but stores every row as packed 64-bit words
+and executes each command as a handful of bulk bitwise NumPy operations
+instead of per-bit Python work.
+
+The two backends are *cell-state identical* after every command.  Fault
+injection routes through the very same :class:`~repro.dram.faults.
+FaultModel.corrupt` hook, called once per activation with the same
+sensed bits and the same contested-column flags, so a seeded fault model
+draws an identical random stream on either backend and the simulations
+stay bit-for-bit reproducible (``tests/test_backend_parity.py`` pins
+this).  Timing/energy accounting hooks (``aap_count``, ``ap_count``,
+``activations``) are maintained identically, so :mod:`repro.perf` and
+:mod:`repro.dram.timing` consumers do not care which backend ran.
+
+>>> import numpy as np
+>>> from repro.dram.wordline import WordlineSubarray
+>>> sa = WordlineSubarray(n_data_rows=4, n_cols=80)
+>>> sa.write_data_row(0, np.ones(80, dtype=np.uint8))
+>>> sa.aap(0, 1)                   # RowClone copy D0 -> D1
+>>> int(sa.read_data_row(1).sum())
+80
+>>> sa.aap(0, "B8")                # T0 <- D0, DCC0 <- NOT D0
+>>> int(sa.read_b_row("B4").sum()) # DCC0's plain port: NOT D0 = all-zero
+0
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.dram.ambit import _DATA_BASE, _b_group_map, _C0, _C1
+from repro.dram.faults import FAULT_FREE, FaultModel
+
+__all__ = ["WordlineSubarray", "pack_bits", "unpack_bits"]
+
+_FULL = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+Address = Union[str, int]
+
+#: A resolved wordline: (physical row, negated port).
+_PortTuple = Tuple[int, bool]
+
+
+def pack_bits(bits) -> np.ndarray:
+    """Pack a uint8 0/1 vector into little-endian ``uint64`` words.
+
+    Lane ``i`` maps to bit ``i % 64`` of word ``i // 64``; tail bits of
+    the last word are zero.
+
+    >>> pack_bits([1, 0, 1]).tolist()
+    [5]
+    """
+    bits = np.asarray(bits, dtype=np.uint8)
+    n_words = (bits.size + 63) // 64
+    buf = np.zeros(n_words * 8, dtype=np.uint8)
+    packed = np.packbits(bits, bitorder="little")
+    buf[:packed.size] = packed
+    return buf.view(np.uint64)
+
+
+def unpack_bits(words: np.ndarray, n_cols: int) -> np.ndarray:
+    """Unpack ``uint64`` words back into a uint8 0/1 vector of ``n_cols``.
+
+    >>> unpack_bits(pack_bits([1, 0, 1]), 3).tolist()
+    [1, 0, 1]
+    """
+    words = np.ascontiguousarray(words, dtype=np.uint64)
+    return np.unpackbits(words.view(np.uint8), count=n_cols,
+                         bitorder="little")
+
+
+class WordlineSubarray:
+    """Drop-in fast replacement for :class:`~repro.dram.ambit.AmbitSubarray`.
+
+    Parameters
+    ----------
+    n_data_rows:
+        D-group rows available for counters, masks and scratch.
+    n_cols:
+        Bitlines (= SIMD lanes); packed into ``ceil(n_cols / 64)`` words.
+    fault_model:
+        Per-bit fault injection, shared with the bit-level backend.
+
+    Bits past ``n_cols`` in the last word are *don't-care*: they never
+    reach the fault model or a host read, and negation may set them
+    freely (the unpack path masks them off).
+    """
+
+    #: Backend tag used by the engine's ``backend=`` flag.
+    mode = "word"
+
+    def __init__(self, n_data_rows: int, n_cols: int,
+                 fault_model: FaultModel = FAULT_FREE):
+        self.n_data_rows = int(n_data_rows)
+        self.n_cols = int(n_cols)
+        self.n_words = (self.n_cols + 63) // 64
+        self.cells = np.zeros((_DATA_BASE + self.n_data_rows, self.n_words),
+                              dtype=np.uint64)
+        self.cells[_C1] = _FULL          # constant-one control row
+        self.fault_model = fault_model
+        self.aap_count = 0
+        self.ap_count = 0
+        self.activations = 0
+        self.multi_row_activations = 0
+        # Resolved address cache: name/index -> ((row, negated), ...).
+        self._ports: Dict[Address, Tuple[_PortTuple, ...]] = {
+            name: tuple((p.row, p.negated) for p in ports)
+            for name, ports in _b_group_map().items()}
+        self._ports["C0"] = ((_C0, False),)
+        self._ports["C1"] = ((_C1, False),)
+        # Compiled μProgram cache: id(program) -> (program, op list).
+        # The strong reference keeps each cached program alive so its id
+        # can never be reused by a different object.
+        self._compiled: Dict[int, tuple] = {}
+
+    # ------------------------------------------------------------------
+    # addressing
+    # ------------------------------------------------------------------
+    def resolve(self, address: Address) -> Tuple[_PortTuple, ...]:
+        """Map an address to ``(physical_row, negated)`` port tuples."""
+        ports = self._ports.get(address)
+        if ports is not None:
+            return ports
+        if isinstance(address, (int, np.integer)):
+            ports = ((self._data_row(int(address)), False),)
+        elif isinstance(address, str) and address.startswith("D"):
+            ports = ((self._data_row(int(address[1:])), False),)
+        else:
+            raise KeyError(f"unknown row address {address!r}")
+        self._ports[address] = ports
+        return ports
+
+    def _data_row(self, index: int) -> int:
+        if not 0 <= index < self.n_data_rows:
+            raise IndexError(f"data row {index} out of range "
+                             f"(0..{self.n_data_rows - 1})")
+        return _DATA_BASE + index
+
+    # ------------------------------------------------------------------
+    # sensing (shared by AAP's first activation and AP)
+    # ------------------------------------------------------------------
+    def _sense(self, ports: Sequence[_PortTuple]) -> np.ndarray:
+        """Activate ``ports``: sense, fault-inject, write back, count."""
+        cells = self.cells
+        faulty = (self.fault_model.p_cim > 0.0
+                  or self.fault_model.p_read > 0.0)
+        multi = len(ports) > 1
+        if not multi:
+            row, neg = ports[0]
+            sensed = ~cells[row] if neg else cells[row]
+            contested = None
+        else:
+            if len(ports) % 2 == 0:
+                raise ValueError(
+                    "simultaneous activation needs an odd row count for a "
+                    "defined majority; use an AAP destination for copies")
+            r0, n0 = ports[0]
+            r1, n1 = ports[1]
+            r2, n2 = ports[2]
+            a = ~cells[r0] if n0 else cells[r0]
+            b = ~cells[r1] if n1 else cells[r1]
+            c = ~cells[r2] if n2 else cells[r2]
+            sensed = (a & b) | (a & c) | (b & c)
+            contested = (a ^ b) | (a ^ c) if faulty else None
+        if faulty:
+            bits = unpack_bits(sensed, self.n_cols)
+            cont_bits = (unpack_bits(contested, self.n_cols).astype(bool)
+                         if multi else None)
+            bits = self.fault_model.corrupt(bits, multi_row=multi,
+                                            contested=cont_bits)
+            sensed = pack_bits(bits)
+        if multi or faulty:
+            # Destructive write-back through every activated port; for a
+            # single fault-free port the write-back is the identity.
+            for row, neg in ports:
+                cells[row] = ~sensed if neg else sensed
+        self.activations += 1
+        if multi:
+            self.multi_row_activations += 1
+        return sensed
+
+    # ------------------------------------------------------------------
+    # DRAM command sequences
+    # ------------------------------------------------------------------
+    def aap(self, src: Address, dst: Address) -> None:
+        """Activate-activate-precharge: compute/read ``src``, copy to ``dst``."""
+        sensed = self._sense(self.resolve(src))
+        for row, neg in self.resolve(dst):
+            self.cells[row] = ~sensed if neg else sensed
+        self.activations += 1
+        self.aap_count += 1
+
+    def ap(self, address: Address) -> None:
+        """Activate-precharge: in-place (destructive) multi-row operation."""
+        self._sense(self.resolve(address))
+        self.ap_count += 1
+
+    def run_program(self, program) -> None:
+        """Execute a :class:`~repro.isa.microprogram.MicroProgram`.
+
+        Programs are compiled once to resolved port tuples and cached by
+        identity, so replaying the same (engine-cached) program skips all
+        address resolution -- the batched-dispatch hot path.
+        """
+        cached = self._compiled.get(id(program))
+        if cached is None or cached[0] is not program:
+            ops = tuple(
+                (op.kind == "AAP", self.resolve(op.src),
+                 self.resolve(op.dst) if op.kind == "AAP" else None)
+                for op in program.ops)
+            self._compiled[id(program)] = (program, ops)
+        else:
+            ops = cached[1]
+        cells = self.cells
+        for is_aap, src_ports, dst_ports in ops:
+            sensed = self._sense(src_ports)
+            if is_aap:
+                for row, neg in dst_ports:
+                    cells[row] = ~sensed if neg else sensed
+                self.activations += 1
+                self.aap_count += 1
+            else:
+                self.ap_count += 1
+
+    # ------------------------------------------------------------------
+    # host-side access (RD/WR path; used to stage operands and read out)
+    # ------------------------------------------------------------------
+    def write_data_row(self, index: int, values) -> None:
+        values = np.asarray(values, dtype=np.uint8)
+        if values.shape != (self.n_cols,):
+            raise ValueError("row width mismatch")
+        self.cells[self._data_row(index)] = pack_bits(values)
+
+    def read_data_row(self, index: int) -> np.ndarray:
+        return unpack_bits(self.cells[self._data_row(index)], self.n_cols)
+
+    def read_rows(self, indices: Sequence[int]) -> np.ndarray:
+        """Stack several data rows into a ``[len(indices), n_cols]`` array."""
+        return np.stack([self.read_data_row(i) for i in indices])
+
+    def read_b_row(self, address: Address) -> np.ndarray:
+        """Debug read of a B/C-group address through its first port."""
+        row, neg = self.resolve(address)[0]
+        value = unpack_bits(self.cells[row], self.n_cols)
+        return (1 - value) if neg else value
+
+    # ------------------------------------------------------------------
+    @property
+    def ops_issued(self) -> int:
+        """Total command sequences (AAP + AP) issued so far."""
+        return self.aap_count + self.ap_count
+
+    def stats(self) -> Tuple[int, int]:
+        """(total activations, multi-row activations) since construction."""
+        return self.activations, self.multi_row_activations
+
+    def reset_counts(self) -> None:
+        self.aap_count = 0
+        self.ap_count = 0
+        self.activations = 0
+        self.multi_row_activations = 0

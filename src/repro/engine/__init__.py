@@ -1,8 +1,10 @@
-"""The gate-level Count2Multiply engine: counter row mapping and the
-broadcast counting machine with optional ECC protection."""
+"""The gate-level Count2Multiply engine: counter row mapping, the
+broadcast counting machine with optional ECC protection, and the
+multi-bank batched dispatcher."""
 
 from repro.engine.bank import BankedEngine
+from repro.engine.cluster import BankCluster
 from repro.engine.machine import CountingEngine
 from repro.engine.mapping import CounterLayout
 
-__all__ = ["BankedEngine", "CountingEngine", "CounterLayout"]
+__all__ = ["BankCluster", "BankedEngine", "CountingEngine", "CounterLayout"]

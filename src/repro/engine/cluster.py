@@ -1,0 +1,132 @@
+"""Multi-bank batched dispatch of masked increments (paper Secs. 2.1, 5.2).
+
+The broadcast command stream of a k-ary increment is *mask-oblivious*:
+the IARM scheduler bounds every lane as if each increment could land on
+it, so the exact same event list is sound for any mask contents.
+:class:`BankCluster` exploits that to batch GEMV work across bank
+shards: ``n_banks`` replicas of the counter lanes live side by side in
+one wide subarray, each bank's slice of the single mask row holds a
+*different* operand mask, and one broadcast μProgram advances all banks
+in a single pass of packed word-parallel ops.
+
+Masked updates that share the same increment value are grouped into
+waves of ``n_banks`` masks: one ``accumulate(value)`` retires a whole
+wave, so a 64-row GEMV with repeated input values collapses into a few
+dozen broadcasts.  Each bank accumulates a partial sum; the host folds
+the bank axis at read-out (the paper's subarray-level parallelism,
+Sec. 2.1, with the command stream shared rank-wide as in Sec. 5.1).
+
+>>> import numpy as np
+>>> from repro.engine import BankCluster
+>>> cluster = BankCluster(n_bits=2, n_digits=4, lanes_per_bank=4,
+...                       n_banks=2)
+>>> cluster.dispatch([(3, [1, 0, 1, 0]),      # wave 1, bank 0
+...                   (3, [1, 1, 0, 0]),      # wave 1, bank 1
+...                   (5, [0, 0, 1, 1])])     # wave 2, bank 0
+>>> cluster.read_reduced()
+array([6, 3, 8, 5])
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.iarm import BaseScheduler
+from repro.dram.faults import FAULT_FREE, FaultModel
+from repro.engine.machine import CountingEngine
+
+__all__ = ["BankCluster"]
+
+
+class BankCluster:
+    """Counter lanes sharded over ``n_banks`` broadcast-lockstep banks.
+
+    Parameters
+    ----------
+    n_bits, n_digits:
+        Digit geometry of every counter (radix ``2 * n_bits``).
+    lanes_per_bank:
+        Output lanes replicated into each bank shard.
+    n_banks:
+        Bank shards executing the broadcast stream in lockstep; also the
+        wave width of :meth:`dispatch`.
+    fault_model, fr_checks, scheduler, backend:
+        Forwarded to the underlying :class:`~repro.engine.machine.
+        CountingEngine`; the backend defaults to the word-parallel fast
+        subarray (pass ``backend="bit"`` for the bit-accurate reference).
+    """
+
+    def __init__(self, n_bits: int, n_digits: int, lanes_per_bank: int,
+                 n_banks: int = 8,
+                 fault_model: FaultModel = FAULT_FREE,
+                 fr_checks: int = 0,
+                 scheduler: Optional[BaseScheduler] = None,
+                 backend: str = "word"):
+        if n_banks < 1:
+            raise ValueError("n_banks must be positive")
+        if lanes_per_bank < 0:
+            raise ValueError("lanes_per_bank must be non-negative")
+        self.n_banks = int(n_banks)
+        self.lanes_per_bank = int(lanes_per_bank)
+        self.n_lanes = self.n_banks * self.lanes_per_bank
+        self.engine = CountingEngine(n_bits, n_digits, self.n_lanes,
+                                     fault_model=fault_model,
+                                     fr_checks=fr_checks,
+                                     scheduler=scheduler,
+                                     backend=backend)
+        self.engine.reset_counters()
+        self.broadcasts = 0      # accumulate() calls actually issued
+
+    # ------------------------------------------------------------------
+    def dispatch(self, updates: Iterable[Tuple[int, Sequence[int]]]) -> None:
+        """Execute a batch of ``(value, mask)`` masked accumulations.
+
+        Updates are grouped by value (first-occurrence order, so batches
+        replay deterministically) and dealt across banks in waves of
+        ``n_banks``; every wave costs a single broadcast accumulate.
+        All-zero masks and zero values are skipped.
+        """
+        groups: dict = {}
+        for value, mask in updates:
+            v = int(value)
+            if v == 0:
+                continue
+            mask = np.asarray(mask, dtype=np.uint8)
+            if mask.shape != (self.lanes_per_bank,):
+                raise ValueError("mask width must equal lanes_per_bank")
+            if not mask.any():
+                continue
+            groups.setdefault(v, []).append(mask)
+
+        wide = np.zeros(self.n_lanes, dtype=np.uint8)
+        width = self.lanes_per_bank
+        for value, masks in groups.items():
+            for start in range(0, len(masks), self.n_banks):
+                wave = masks[start:start + self.n_banks]
+                wide[:] = 0
+                for bank, mask in enumerate(wave):
+                    wide[bank * width:(bank + 1) * width] = mask
+                self.engine.load_mask(0, wide)
+                self.engine.accumulate(value)
+                self.broadcasts += 1
+
+    # ------------------------------------------------------------------
+    def read_bank_values(self, strict: bool = True) -> np.ndarray:
+        """Flush and read every bank's partial sums, ``[n_banks, lanes]``."""
+        return self.engine.read_values(strict=strict).reshape(
+            self.n_banks, self.lanes_per_bank)
+
+    def read_reduced(self, strict: bool = True) -> np.ndarray:
+        """Fold the bank axis: the host-side reduction of the partials."""
+        return self.read_bank_values(strict=strict).sum(axis=0)
+
+    def reset(self) -> None:
+        """Zero all counters (for reuse across GEMM output rows)."""
+        self.engine.reset_counters()
+
+    @property
+    def measured_ops(self) -> int:
+        """AAP+AP sequences issued by the shared broadcast stream."""
+        return self.engine.measured_ops

@@ -8,6 +8,9 @@ Sec. 6 with retry-on-detection.
 
 This is the *functional* engine: bit-accurate, fault-injectable, and
 validated against the golden :class:`~repro.core.counter.CounterArray`.
+It runs on either subarray backend -- the per-bit reference
+(``backend="bit"``) or the packed-uint64 word-parallel fast path
+(``backend="word"``), which are cell-state and fault-stream identical.
 Large-shape performance questions go through :mod:`repro.perf` instead.
 """
 
@@ -23,6 +26,7 @@ from repro.core.johnson import decode_lanes, transition_pattern
 from repro.core.opcount import event_ops
 from repro.dram.ambit import AmbitSubarray
 from repro.dram.faults import FAULT_FREE, FaultModel
+from repro.dram.wordline import WordlineSubarray
 from repro.ecc.protection import CIMProtection
 from repro.engine.mapping import CounterLayout
 from repro.isa.templates import (kary_increment_program, masked_update_ops,
@@ -52,7 +56,32 @@ class CountingEngine:
         scheme with that many FR syndrome checks per AND.
     scheduler:
         Any :class:`~repro.core.iarm.BaseScheduler`; defaults to IARM.
+    backend:
+        ``"bit"`` runs on the per-bit :class:`~repro.dram.ambit.
+        AmbitSubarray` reference; ``"word"`` (aliases ``"fast"``,
+        ``"vectorized"``) runs the same μPrograms on the packed-uint64
+        :class:`~repro.dram.wordline.WordlineSubarray`.  Both backends
+        are cell-state and fault-stream identical; ``"word"`` is simply
+        orders of magnitude faster.
     """
+
+    #: Accepted spellings of the two functional backends.
+    BACKENDS = {"bit": "bit", "bitwise": "bit",
+                "word": "word", "fast": "word", "vectorized": "word"}
+
+    @classmethod
+    def normalize_backend(cls, backend: str) -> str:
+        """Resolve a backend alias to ``"bit"`` or ``"word"``.
+
+        The single source of truth for backend spellings: the kernels'
+        ``backend=`` routing and the engine constructor both go through
+        here, so an alias accepted anywhere is accepted everywhere.
+        """
+        try:
+            return cls.BACKENDS[backend]
+        except KeyError:
+            raise ValueError(f"unknown backend {backend!r}; expected one "
+                             f"of {sorted(cls.BACKENDS)}") from None
 
     def __init__(self, n_bits: int, n_digits: int, n_lanes: int,
                  n_masks: int = 1,
@@ -60,7 +89,8 @@ class CountingEngine:
                  fr_checks: int = 0,
                  scheduler: Optional[BaseScheduler] = None,
                  protection_code=None,
-                 max_retries: int = 64):
+                 max_retries: int = 64,
+                 backend: str = "bit"):
         self.n_bits = n_bits
         self.n_digits = n_digits
         self.n_lanes = n_lanes
@@ -68,8 +98,14 @@ class CountingEngine:
         self.fr_checks = int(fr_checks)
         self.layout = CounterLayout(n_bits, n_digits, n_masks,
                                     protected=self.fr_checks > 0)
-        self.subarray = AmbitSubarray(self.layout.total_rows, n_lanes,
-                                      fault_model)
+        self.backend = self.normalize_backend(backend)
+        subarray_cls = (WordlineSubarray if self.backend == "word"
+                        else AmbitSubarray)
+        self.subarray = subarray_cls(self.layout.total_rows, n_lanes,
+                                     fault_model)
+        # Increment/resolve μPrograms depend only on (digit, k, mask row),
+        # so they compile once and replay from this cache.
+        self._prog_cache = {}
         self.scheduler = scheduler or IARMScheduler(n_bits, n_digits)
         if self.fr_checks:
             # Any XOR-homomorphic code works; Hamming (72,64) by default,
@@ -177,10 +213,14 @@ class CountingEngine:
         lay = self.layout
         bit_rows = lay.digit_bit_rows[digit]
         if not self.fr_checks:
-            prog = kary_increment_program(bit_rows, mask_row, k,
-                                          lay.scratch_rows,
-                                          lay.onext_rows[digit])
-            prog.run(self.subarray)
+            key = (digit, k, mask_row)
+            prog = self._prog_cache.get(key)
+            if prog is None:
+                prog = kary_increment_program(bit_rows, mask_row, k,
+                                              lay.scratch_rows,
+                                              lay.onext_rows[digit])
+                self._prog_cache[key] = prog
+            self.subarray.run_program(prog)
             return
 
         # Protected path: cycle saves + protected per-bit updates +
@@ -239,7 +279,12 @@ class CountingEngine:
         """Carry ripple: ±1 on the next digit masked by this O_next row."""
         onext = self.layout.onext_rows[digit]
         self._run_increment(digit + 1, direction, mask_row=onext)
-        self._run_ops([aap("C0", onext)])
+        key = ("clear", onext)
+        prog = self._prog_cache.get(key)
+        if prog is None:
+            prog = MicroProgram("clear_onext", (aap("C0", onext),))
+            self._prog_cache[key] = prog
+        self.subarray.run_program(prog)
 
     def execute_events(self, events: Sequence[Event],
                        mask_index: int = 0) -> None:

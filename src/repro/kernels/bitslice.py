@@ -82,12 +82,14 @@ def csd_slices(z: np.ndarray, max_bits: int = 16) -> List[CSDSlice]:
 def bitsliced_gemv(x: np.ndarray, z: np.ndarray, n_bits: int = 2,
                    max_bits: int = 16,
                    fault_model: FaultModel = FAULT_FREE,
-                   fr_checks: int = 0) -> np.ndarray:
+                   fr_checks: int = 0,
+                   backend: str = "fast") -> np.ndarray:
     """``y = x @ z`` for signed integer x *and* signed integer z.
 
     Every CSD slice contributes ``sign * (x << power) @ mask``; the
-    shifted inputs ride the same ternary accumulation machinery, so the
-    counters never see a multiplier.
+    shifted inputs ride the same ternary accumulation machinery (and
+    its word-parallel fast backend), so the counters never see a
+    multiplier.
     """
     x = np.asarray(x, dtype=np.int64)
     z = np.asarray(z, dtype=np.int64)
@@ -96,16 +98,17 @@ def bitsliced_gemv(x: np.ndarray, z: np.ndarray, n_bits: int = 2,
         scaled = (x << sl.power) * sl.sign
         total += ternary_gemv(scaled, sl.mask.astype(np.int8),
                               n_bits=n_bits, fault_model=fault_model,
-                              fr_checks=fr_checks)
+                              fr_checks=fr_checks, backend=backend)
     return total
 
 
 def bitsliced_gemm(x: np.ndarray, z: np.ndarray, n_bits: int = 2,
                    max_bits: int = 16,
-                   fault_model: FaultModel = FAULT_FREE) -> np.ndarray:
+                   fault_model: FaultModel = FAULT_FREE,
+                   backend: str = "fast") -> np.ndarray:
     """``Y = X @ Z`` for signed integer matrices via CSD slices."""
     x = np.asarray(x, dtype=np.int64)
     rows = [bitsliced_gemv(x[o], z, n_bits=n_bits, max_bits=max_bits,
-                           fault_model=fault_model)
+                           fault_model=fault_model, backend=backend)
             for o in range(x.shape[0])]
     return np.stack(rows)

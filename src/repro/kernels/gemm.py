@@ -5,7 +5,9 @@ Each output row ``Y[o, :]`` is an independent masked accumulation
 ``sum_k X[o, k] * Z[k, :]`` reusing the counter rows: the engine's
 counters are read out and reset between output rows, exactly as the
 paper describes copying the counter rows out and reusing them, which
-avoids duplicating the far larger mask storage for Z.
+avoids duplicating the far larger mask storage for Z.  The fast backend
+reuses one :class:`~repro.engine.cluster.BankCluster` the same way --
+its bank shards and compiled μProgram cache survive across output rows.
 """
 
 from __future__ import annotations
@@ -14,29 +16,53 @@ import numpy as np
 
 from repro.dram.faults import FAULT_FREE, FaultModel
 from repro.engine.machine import CountingEngine
-from repro.kernels.gemv import binary_gemv, required_digits, ternary_gemv
+from repro.kernels.gemv import (_cluster_for, binary_gemv, binary_updates,
+                                required_digits, ternary_gemv,
+                                ternary_updates)
 
 __all__ = ["binary_gemm", "ternary_gemm"]
 
 
 def binary_gemm(x: np.ndarray, z: np.ndarray, n_bits: int = 2,
                 fault_model: FaultModel = FAULT_FREE,
-                fr_checks: int = 0) -> np.ndarray:
+                fr_checks: int = 0,
+                backend: str = "fast") -> np.ndarray:
     """``Y = X @ Z`` with non-negative integer X [M, K], binary Z [K, N].
 
-    Reuses one counting engine across output rows (counter rows are
-    reset, masks rebroadcast per k as in :func:`binary_gemv`).
+    Reuses one counting engine (or one bank cluster on the fast path)
+    across output rows: counter rows are reset, masks rebroadcast per k
+    as in :func:`~repro.kernels.gemv.binary_gemv`.
+
+    >>> import numpy as np
+    >>> binary_gemm(np.array([[1, 2], [0, 3]]),
+    ...             np.array([[1, 1], [0, 1]]))
+    array([[1, 3],
+           [0, 3]])
     """
     x = np.asarray(x, dtype=np.int64)
     z = np.asarray(z, dtype=np.uint8)
     if x.ndim != 2 or z.ndim != 2 or x.shape[1] != z.shape[0]:
         raise ValueError("shape mismatch: x [M, K], z [K, N]")
+    if (x < 0).any():
+        raise ValueError("binary_gemm expects non-negative inputs; use "
+                         "ternary_gemm for signed streams")
     m, _ = x.shape
     n = z.shape[1]
     digits = required_digits(n_bits, x.flatten())
-    engine = CountingEngine(n_bits, digits, n, fault_model=fault_model,
-                            fr_checks=fr_checks)
     out = np.zeros((m, n), dtype=np.int64)
+    strict = fault_model.p_cim == 0
+
+    if CountingEngine.normalize_backend(backend) == "word":
+        cluster = _cluster_for(x.shape[1], n_bits, digits, n,
+                               fault_model, fr_checks)
+        for o in range(m):
+            cluster.reset()
+            cluster.dispatch(binary_updates(x[o], z))
+            out[o] = cluster.read_reduced(strict=strict)
+        return out
+
+    engine = CountingEngine(n_bits, digits, n, fault_model=fault_model,
+                            fr_checks=fr_checks, backend=backend)
     for o in range(m):
         out[o] = binary_gemv(x[o], z, n_bits=n_bits,
                              fault_model=fault_model,
@@ -46,11 +72,39 @@ def binary_gemm(x: np.ndarray, z: np.ndarray, n_bits: int = 2,
 
 def ternary_gemm(x: np.ndarray, z: np.ndarray, n_bits: int = 2,
                  fault_model: FaultModel = FAULT_FREE,
-                 fr_checks: int = 0) -> np.ndarray:
-    """``Y = X @ Z`` with signed integer X [M, K] and ternary Z [K, N]."""
+                 fr_checks: int = 0,
+                 backend: str = "fast") -> np.ndarray:
+    """``Y = X @ Z`` with signed integer X [M, K] and ternary Z [K, N].
+
+    >>> import numpy as np
+    >>> ternary_gemm(np.array([[2, -1]]),
+    ...              np.array([[1, -1], [1, 1]], dtype=np.int8))
+    array([[ 1, -3]])
+    """
     x = np.asarray(x, dtype=np.int64)
     if x.ndim != 2:
         raise ValueError("x must be [M, K]")
+    z = np.asarray(z, dtype=np.int8)
+    if z.ndim != 2 or x.shape[1] != z.shape[0]:
+        raise ValueError("shape mismatch: x [M, K], z [K, N]")
+    if not np.isin(z, (-1, 0, 1)).all():
+        raise ValueError("z must be ternary (-1/0/1)")
+    n = z.shape[1]
+    strict = fault_model.p_cim == 0
+
+    if CountingEngine.normalize_backend(backend) == "word":
+        digits = required_digits(n_bits, x.flatten())
+        cluster = _cluster_for(x.shape[1], n_bits, digits, 2 * n,
+                               fault_model, fr_checks)
+        out = np.zeros((x.shape[0], n), dtype=np.int64)
+        for o in range(x.shape[0]):
+            cluster.reset()
+            cluster.dispatch(ternary_updates(x[o], z))
+            halves = cluster.read_reduced(strict=strict).reshape(2, n)
+            out[o] = halves[0] - halves[1]
+        return out
+
     rows = [ternary_gemv(x[o], z, n_bits=n_bits, fault_model=fault_model,
-                         fr_checks=fr_checks) for o in range(x.shape[0])]
+                         fr_checks=fr_checks, backend=backend)
+            for o in range(x.shape[0])]
     return np.stack(rows)

@@ -1,16 +1,28 @@
-"""Run the library's docstring examples as tests."""
+"""Run the library's docstring examples as tests.
+
+Every new public symbol ships a runnable doctest; this harness keeps the
+examples honest.  The fast-backend surface (``WordlineSubarray``,
+``BankCluster``, the kernels' ``backend=`` flags) is covered by the
+wordline/cluster/gemv/gemm modules below.
+"""
 
 import doctest
 
 import pytest
 
 import repro.core.kary
+import repro.dram.wordline
+import repro.engine.cluster
 import repro.kernels.bitslice
+import repro.kernels.gemm
+import repro.kernels.gemv
 import repro.util
 
 
 @pytest.mark.parametrize("module", [
-    repro.util, repro.core.kary, repro.kernels.bitslice])
+    repro.util, repro.core.kary, repro.kernels.bitslice,
+    repro.dram.wordline, repro.engine.cluster,
+    repro.kernels.gemv, repro.kernels.gemm])
 def test_doctests(module):
     result = doctest.testmod(module)
     # A module with examples must run them all cleanly.

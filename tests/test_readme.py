@@ -1,0 +1,29 @@
+"""The README quickstart must run as-is.
+
+Extracts every ```python fenced block from README.md and executes them
+in order in one shared namespace (so later blocks may build on earlier
+imports).  CI runs this as its docs check.
+"""
+
+import pathlib
+import re
+
+README = pathlib.Path(__file__).parent.parent / "README.md"
+
+_BLOCK = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def test_readme_exists_with_code_blocks():
+    text = README.read_text()
+    blocks = _BLOCK.findall(text)
+    assert len(blocks) >= 3, "README lost its quickstart code blocks"
+
+
+def test_readme_python_blocks_execute():
+    namespace = {}
+    for i, block in enumerate(_BLOCK.findall(README.read_text())):
+        try:
+            exec(compile(block, f"README.md[block {i}]", "exec"), namespace)
+        except Exception as err:  # pragma: no cover - failure reporting
+            raise AssertionError(
+                f"README block {i} failed: {err}\n---\n{block}") from err
