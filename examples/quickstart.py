@@ -4,8 +4,9 @@
 Walks through the core Count2Multiply ideas on the gate-level simulator:
 
 1. a vector of Johnson counters living in a DRAM subarray,
-2. masked broadcast accumulation (the MAC primitive),
-3. a ternary vector-matrix product,
+2. masked broadcast accumulation (the MAC primitive) and a ternary
+   vector-matrix product,
+3. Device/Plan sessions: plant the matrix once, stream many queries,
 4. what CIM faults do -- and how the ECC protection scheme absorbs them.
 
 Run:  python examples/quickstart.py
@@ -13,7 +14,7 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro import CountingEngine, FaultModel, ternary_gemv
+from repro import CountingEngine, Device, FaultModel, ternary_gemv
 
 
 def counting_demo():
@@ -50,10 +51,33 @@ def gemv_demo():
     print(f"numpy check : {(y == x @ z).all()}")
 
 
+def session_demo():
+    print()
+    print("=" * 64)
+    print("3. Sessions: plant Z once, stream many queries")
+    print("=" * 64)
+    rng = np.random.default_rng(7)
+    z = rng.integers(-1, 2, (16, 24)).astype(np.int8)  # resident weights
+    xs = rng.integers(-9, 10, (8, 16))                 # streamed queries
+    with Device(n_bits=2) as dev:
+        plan = dev.plan_gemv(z, kind="ternary")        # plant once
+        ys = plan.run_many(xs)                         # stream many
+        single = plan(xs[0])                           # or one at a time
+        stats = plan.stats
+    print(f"8 queries bit-exact : {(ys == xs @ z).all()} "
+          f"(single query too: {(single == xs[0] @ z).all()})")
+    print(f"resident mask rows  : {stats.resident_rows} "
+          f"(planted once, reused by every query)")
+    print(f"broadcast waves     : {stats.broadcasts} for "
+          f"{stats.queries} queries")
+    print(f"uProgram cache      : {stats.program_compiles} compiled, "
+          f"{stats.program_replays} replayed")
+
+
 def fault_demo():
     print()
     print("=" * 64)
-    print("3. CIM faults and the XOR-embedded ECC protection")
+    print("4. CIM faults and the XOR-embedded ECC protection")
     print("=" * 64)
     stream = [9, 14, 3, 27, 5, 18, 2, 30]
     expected = sum(stream)
@@ -81,4 +105,5 @@ def fault_demo():
 if __name__ == "__main__":
     counting_demo()
     gemv_demo()
+    session_demo()
     fault_demo()

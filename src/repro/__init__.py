@@ -23,16 +23,18 @@ Quick start::
 
 from repro.core import (CounterArray, IARMScheduler, NaiveKaryScheduler,
                         UnitScheduler)
+from repro.device import Device, EngineConfig, GemmPlan, GemvPlan, PlanStats
 from repro.dram import AmbitSubarray, FaultModel, WordlineSubarray
 from repro.engine import BankCluster, CountingEngine
 from repro.kernels import (binary_gemm, binary_gemv, bitsliced_gemv,
                            ternary_gemm, ternary_gemv)
 from repro.perf import C2MConfig, C2MModel, GEMMShape
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CounterArray", "IARMScheduler", "NaiveKaryScheduler", "UnitScheduler",
+    "Device", "EngineConfig", "GemmPlan", "GemvPlan", "PlanStats",
     "AmbitSubarray", "FaultModel", "WordlineSubarray",
     "BankCluster", "CountingEngine",
     "binary_gemm", "binary_gemv", "bitsliced_gemv", "ternary_gemm",

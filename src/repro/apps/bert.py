@@ -135,9 +135,14 @@ class BertProxy:
             out = np.zeros((m, n), dtype=np.int64)
             plus = (w_ternary > 0).astype(np.uint8)
             minus = (w_ternary < 0).astype(np.uint8)
+            # Plan-style reuse: one pos/neg accumulator pair per weight
+            # matrix, counters reset between rows (the fault stream runs
+            # on -- only the counter state restarts).
+            pos = self._make_acc(kind, n, fault_rate, scheme, rng)
+            neg = self._make_acc(kind, n, fault_rate, scheme, rng)
             for row in range(m):
-                pos = self._make_acc(kind, n, fault_rate, scheme, rng)
-                neg = self._make_acc(kind, n, fault_rate, scheme, rng)
+                pos.reset()
+                neg.reset()
                 for j in range(k):
                     v = int(a_int[row, j])
                     if v == 0:

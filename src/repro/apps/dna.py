@@ -138,9 +138,13 @@ class DNAFilterWorkload:
         sq_err = 0.0
         count = 0
         reads = self.reads[:max_reads] if max_reads else self.reads
+        # Plan-style reuse: the bin bitvectors are the resident matrix,
+        # so one accumulator serves every read -- counters reset between
+        # reads while the seeded fault stream continues.
+        acc = self.make_accumulator(kind, fault_rate, scheme,
+                                    seed=rng.integers(2 ** 31))
         for idx, read in enumerate(reads):
-            acc = self.make_accumulator(kind, fault_rate, scheme,
-                                        seed=rng.integers(2 ** 31))
+            acc.reset()
             scores = self.accumulate_scores(read, acc)
             exact = self.exact_scores(read)
             sq_err += float(((scores - exact) ** 2).mean())

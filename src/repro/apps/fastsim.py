@@ -101,6 +101,17 @@ class FastJCAccumulator:
         self.onext[digit] = 0
 
     # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Zero counters for the next query; the fault stream continues.
+
+        The plan-style reuse path: applications keep one accumulator
+        per weight matrix and reset it between queries instead of
+        reallocating (mirrors ``CountingEngine.reset_counters``).
+        """
+        self.bits[:] = 0
+        self.onext[:] = 0
+        self.scheduler.reset()
+
     def accumulate(self, value: int, mask: np.ndarray) -> None:
         """Masked accumulation of one (signed) input value."""
         mask = np.asarray(mask, dtype=np.uint8)
@@ -153,6 +164,10 @@ class FastRCAAccumulator:
             return row
         flips = self._rng.random(row.shape) < self._p
         return row ^ flips.astype(np.uint8)
+
+    def reset(self) -> None:
+        """Zero accumulators for the next query (fault stream continues)."""
+        self.bits[:] = 0
 
     def accumulate(self, value: int, mask: np.ndarray) -> None:
         mask = np.asarray(mask, dtype=np.uint8)

@@ -19,7 +19,7 @@ from typing import Dict
 import networkx as nx
 import numpy as np
 
-from repro.kernels.gemm import binary_gemm, ternary_gemm
+from repro.device import Device, EngineConfig
 from repro.util import RngLike, as_rng
 
 __all__ = ["GCNConfig", "SyntheticCitationGraph", "gcn_forward_cim",
@@ -76,31 +76,55 @@ def gcn_forward_reference(graph: SyntheticCitationGraph) -> np.ndarray:
 
 
 def gcn_forward_cim(graph: SyntheticCitationGraph,
-                    n_bits: int = 2, backend: str = "fast",
+                    n_bits: int = None, backend: str = None,
+                    device: Device = None,
                     **kernel_kwargs) -> np.ndarray:
-    """Forward pass with every matmul on the CIM kernels.
+    """Forward pass with every matmul on planted CIM plans.
 
-    Feature transforms use the ternary GEMM; aggregations use the binary
-    GEMM with the adjacency rows as masks (values must be non-negative,
-    so aggregation happens after the ReLU and on split pos/neg parts for
-    the first layer).  ``backend="fast"`` (default) routes every GEMM
-    through the batched word-parallel bank cluster.
+    Plan-once/stream-many *within the pass*: the two ternary weight
+    matrices and the binary adjacency are each planted once, and the
+    adjacency plan serves all four aggregations (pos/neg split, two
+    layers) from the same resident masks.  Aggregations run after the
+    ReLU on split pos/neg parts so every streamed value is non-negative.
+
+    Pass an existing ``device`` to share its engine configuration and
+    resources; the plans themselves are created per call and closed on
+    exit.  Engine knobs (``n_bits``, ``backend``, ``kernel_kwargs``)
+    belong to the device, so combining them with an explicit ``device``
+    raises instead of silently ignoring them.
     """
-    kernel_kwargs = dict(kernel_kwargs, backend=backend)
-    xw = ternary_gemm(graph.features, graph.w1, n_bits=n_bits,
-                      **kernel_kwargs)
-    # Aggregate signed values as pos/neg masked accumulations.
-    pos = binary_gemm(np.maximum(xw, 0).T, graph.adjacency.T,
-                      n_bits=n_bits, **kernel_kwargs).T
-    neg = binary_gemm(np.maximum(-xw, 0).T, graph.adjacency.T,
-                      n_bits=n_bits, **kernel_kwargs).T
-    h = np.maximum(pos - neg, 0)
-    hw = ternary_gemm(h, graph.w2, n_bits=n_bits, **kernel_kwargs)
-    pos = binary_gemm(np.maximum(hw, 0).T, graph.adjacency.T,
-                      n_bits=n_bits, **kernel_kwargs).T
-    neg = binary_gemm(np.maximum(-hw, 0).T, graph.adjacency.T,
-                      n_bits=n_bits, **kernel_kwargs).T
-    return pos - neg
+    own = device is None
+    if own:
+        device = Device(EngineConfig(n_bits=2 if n_bits is None else n_bits,
+                                     backend=backend or "fast",
+                                     **kernel_kwargs))
+    elif n_bits is not None or backend is not None or kernel_kwargs:
+        raise ValueError("an explicit device fixes the engine config; "
+                         "drop n_bits/backend/engine kwargs or configure "
+                         "the Device instead")
+    plans = []
+    try:
+        w1_plan = device.plan_gemm(graph.w1, kind="ternary")
+        plans.append(w1_plan)
+        w2_plan = device.plan_gemm(graph.w2, kind="ternary")
+        plans.append(w2_plan)
+        # One adjacency plant serves all four aggregations below.
+        agg_plan = device.plan_gemm(graph.adjacency.T, kind="binary")
+        plans.append(agg_plan)
+        xw = w1_plan(graph.features)
+        pos = agg_plan(np.maximum(xw, 0).T).T
+        neg = agg_plan(np.maximum(-xw, 0).T).T
+        h = np.maximum(pos - neg, 0)
+        hw = w2_plan(h)
+        pos = agg_plan(np.maximum(hw, 0).T).T
+        neg = agg_plan(np.maximum(-hw, 0).T).T
+        return pos - neg
+    finally:
+        if own:
+            device.close()
+        else:
+            for plan in plans:
+                plan.close()
 
 
 def classification_agreement(graph: SyntheticCitationGraph,

@@ -13,11 +13,11 @@ from typing import Tuple
 
 import numpy as np
 
-from repro.kernels.gemm import ternary_gemm
+from repro.device import Device, EngineConfig
 from repro.util import RngLike, as_rng
 
 __all__ = ["ternarize_weights", "im2col", "conv2d_ternary_reference",
-           "conv2d_ternary_cim"]
+           "conv2d_ternary_cim", "PlannedConv2d"]
 
 
 def ternarize_weights(w: np.ndarray, threshold_factor: float = 0.7
@@ -48,6 +48,49 @@ def conv2d_ternary_reference(x: np.ndarray, w: np.ndarray) -> np.ndarray:
     return out.T.reshape(f, h_out, w_out)
 
 
+class PlannedConv2d:
+    """A weight-stationary ternary convolution layer.
+
+    Plants the flattened filter bank once in a
+    :class:`~repro.device.GemmPlan`; every ``layer(x)`` call then only
+    streams the image's im2col patches past the resident masks -- the
+    inference-serving shape of the paper's weight-in-memory model.
+    """
+
+    def __init__(self, w: np.ndarray, n_bits: int = None,
+                 backend: str = None, device: Device = None,
+                 **kernel_kwargs):
+        self.f, _, self.kernel, _ = w.shape
+        self._own_device = device is None
+        if self._own_device:
+            device = Device(EngineConfig(
+                n_bits=2 if n_bits is None else n_bits,
+                backend=backend or "fast", **kernel_kwargs))
+        elif n_bits is not None or backend is not None or kernel_kwargs:
+            raise ValueError("an explicit device fixes the engine config; "
+                             "drop n_bits/backend/engine kwargs or "
+                             "configure the Device instead")
+        self._device = device
+        z = w.reshape(self.f, -1).T.astype(np.int8)    # [C*k*k, F]
+        self._plan = self._device.plan_gemm(z, kind="ternary")
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        cols, h_out, w_out = im2col(x, self.kernel)
+        out = self._plan(cols.astype(np.int64))
+        return out.T.reshape(self.f, h_out, w_out)
+
+    @property
+    def stats(self):
+        """Cost counters of the resident plan (see ``PlanStats``)."""
+        return self._plan.stats
+
+    def close(self) -> None:
+        if self._own_device:
+            self._device.close()
+        else:
+            self._plan.close()
+
+
 def conv2d_ternary_cim(x: np.ndarray, w: np.ndarray,
                        n_bits: int = 2, backend: str = "fast",
                        **kernel_kwargs) -> np.ndarray:
@@ -57,14 +100,16 @@ def conv2d_ternary_cim(x: np.ndarray, w: np.ndarray,
     per row); the flattened filters are the ternary mask matrix Z.
     ``backend`` selects the batched word-parallel cluster (``"fast"``,
     default) or the per-bit reference (``"bit"``); both return identical
-    results in fault-free runs.
+    results in fault-free runs.  One-shot wrapper over
+    :class:`PlannedConv2d` -- repeated inference over the same filters
+    should hold the planned layer instead.
     """
-    f, c, k, _ = w.shape
-    cols, h_out, w_out = im2col(x, k)
-    z = w.reshape(f, -1).T.astype(np.int8)         # [C*k*k, F]
-    out = ternary_gemm(cols.astype(np.int64), z, n_bits=n_bits,
-                       backend=backend, **kernel_kwargs)
-    return out.T.reshape(f, h_out, w_out)
+    layer = PlannedConv2d(w, n_bits=n_bits, backend=backend,
+                          **kernel_kwargs)
+    try:
+        return layer(x)
+    finally:
+        layer.close()
 
 
 def random_ternary_layer(c_in: int, c_out: int, kernel: int,

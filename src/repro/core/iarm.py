@@ -87,6 +87,16 @@ class BaseScheduler:
         """Events needed to make all lanes carry-free (default: none)."""
         return []
 
+    def reset(self) -> None:
+        """Forget all stream state (counters were externally zeroed).
+
+        Stateless schedulers have nothing to forget; stateful ones
+        (IARM's virtual-counter bounds) override this.  The engine calls
+        it from :meth:`~repro.engine.machine.CountingEngine.
+        reset_counters` so a fresh accumulation epoch starts from the
+        tight all-zero bound instead of the post-flush conservative one.
+        """
+
 
 class UnitScheduler(BaseScheduler):
     """Unary counting with digit-wise carry rippling (paper Sec. 4.4).
@@ -156,11 +166,16 @@ class IARMScheduler(BaseScheduler):
         super().__init__(n_bits, n_digits)
         if not 0 <= initial_max < self.radix ** self.n_digits:
             raise ValueError("initial_max out of counter range")
+        self._initial_max = initial_max
+        self.reset()
+
+    def reset(self) -> None:
+        """Restart the virtual counter at the initial (zeroed) state."""
         # Upper/lower bound of value + radix*pending per digit.  For any
         # pre-loaded lane value v <= initial_max, digit d of v is at most
         # min(radix - 1, initial_max // radix**d), which keeps the bound
         # sound without knowing individual lane contents.
-        self.ub = [min(self.radix - 1, initial_max // self.radix ** d)
+        self.ub = [min(self.radix - 1, self._initial_max // self.radix ** d)
                    for d in range(self.n_digits)]
         self.lb = [0] * self.n_digits
         self._direction = 0  # sign of the current run; 0 = fresh

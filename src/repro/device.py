@@ -1,0 +1,576 @@
+"""Session API: weight-stationary plans over resident operand matrices.
+
+The paper's premise is that the matrix Z lives *in memory* while inputs
+stream past it (masked matrix accumulation, Sec. 5): planting Z's rows
+is a one-time cost, and every further query only broadcasts its input
+values.  The one-shot kernels in :mod:`repro.kernels` hide that -- each
+call rebuilds engines, replants masks and recompiles μPrograms.  This
+module is the session-oriented front door:
+
+* :class:`EngineConfig` collects the knobs previously scattered across
+  kernel signatures (``n_bits``, ``fault_model``, ``fr_checks``,
+  ``backend``, ``n_banks``) into one validated dataclass.
+* :class:`Device` owns engine/cluster resources and hands out plans; it
+  is a context manager, and closing it releases every plan.
+* :class:`GemvPlan` / :class:`GemmPlan` plant one Z, size digits from a
+  declared input budget (with an automatic re-plan guard when a query
+  exceeds it), cache compiled μPrograms across queries, and reset
+  *counters only* -- never the planted masks -- between queries.
+  ``plan.run_many(X)`` additionally batches whole query groups across
+  bank shards so repeated traffic amortizes both planting and command
+  broadcasts (the recorded speedup lives in
+  ``benchmarks/results/plan_amortization.txt``).
+
+>>> import numpy as np
+>>> from repro.device import Device
+>>> z = np.array([[1, -1], [1, 0], [0, 1]], dtype=np.int8)
+>>> with Device(n_bits=2) as dev:
+...     plan = dev.plan_gemv(z, kind="ternary")
+...     y = plan(np.array([3, -2, 1]))          # plant once ...
+...     ys = plan.run_many(np.array([[3, -2, 1], [1, 1, 1]]))
+>>> y
+array([ 1, -2])
+>>> ys
+array([[ 1, -2],
+       [ 2,  0]])
+>>> plan.stats.queries, plan.stats.resident_rows
+(3, 6)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.dram.faults import FAULT_FREE, FaultModel
+from repro.engine.cluster import BankCluster
+from repro.engine.machine import CountingEngine
+from repro.kernels.lowering import (DEFAULT_BANKS, digits_for_budget,
+                                    ternary_row_masks)
+
+__all__ = ["EngineConfig", "Device", "GemvPlan", "GemmPlan", "PlanStats"]
+
+#: Query slots a single run_many() chunk spreads across bank shards.
+_MAX_BATCH_SLOTS = 32
+
+#: Bank shards dealt to each query slot inside a batched chunk.
+_BATCH_BANKS = 4
+
+#: Total lane budget of a batched chunk's subarray (keeps row images
+#: cache-friendly; larger matrices get proportionally fewer slots).
+_MAX_BATCH_LANES = 1 << 18
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Unified engine/cluster configuration for a :class:`Device`.
+
+    Collects the kwargs the one-shot kernels used to take one by one.
+
+    >>> EngineConfig(backend="fast").resolved_backend
+    'word'
+    >>> EngineConfig(backend="sideways")
+    Traceback (most recent call last):
+        ...
+    ValueError: unknown backend 'sideways'; expected one of ['bit', \
+'bitwise', 'fast', 'vectorized', 'word']
+    """
+
+    n_bits: int = 2
+    fault_model: FaultModel = field(
+        default_factory=lambda: FAULT_FREE)
+    fr_checks: int = 0
+    backend: str = "fast"
+    n_banks: int = DEFAULT_BANKS
+
+    def __post_init__(self):
+        if self.n_bits < 1:
+            raise ValueError("n_bits must be positive")
+        if self.n_banks < 1:
+            raise ValueError("n_banks must be positive")
+        if self.fr_checks < 0:
+            raise ValueError("fr_checks must be non-negative")
+        CountingEngine.normalize_backend(self.backend)   # early validation
+
+    @property
+    def resolved_backend(self) -> str:
+        """The canonical backend name (``"bit"`` or ``"word"``)."""
+        return CountingEngine.normalize_backend(self.backend)
+
+    @property
+    def strict_reads(self) -> bool:
+        """Fault-free configs read counters strictly (exact decode)."""
+        return self.fault_model.p_cim == 0
+
+
+@dataclass(frozen=True)
+class PlanStats:
+    """Observable cost counters of one plan (see ``Plan.stats``).
+
+    ``measured_ops`` counts AAP/AP command sequences actually issued and
+    is directly comparable with the analytical
+    :class:`repro.perf.C2MModel` op accounting; ``program_compiles`` /
+    ``program_replays`` split μProgram cache misses from hits, and
+    ``resident_rows`` is the number of planted mask-row images (binary:
+    one per Z row; ternary: both sign orientations per row).
+    """
+
+    queries: int = 0
+    broadcasts: int = 0
+    replans: int = 0
+    resident_rows: int = 0
+    measured_ops: int = 0
+    program_compiles: int = 0
+    program_replays: int = 0
+
+
+class GemvPlan:
+    """A planted GEMV: one resident Z matrix, many streamed queries.
+
+    Created through :meth:`Device.plan_gemv`.  ``plan(x)`` answers one
+    query; :meth:`run_many` streams a batch with cross-query bank
+    sharding.  Between queries only counters are reset -- planted masks
+    and compiled μPrograms stay resident, which is where the amortized
+    speedup over the one-shot kernels comes from.
+
+    ``x_budget`` declares the largest total magnitude ``sum(|x|)`` any
+    query will accumulate (pass ``K * max|x|`` when only an element
+    bound is known).  Digits are sized once from it; a query exceeding
+    the declared budget triggers an automatic re-plan to more digits
+    (counted in ``stats.replans``) instead of a counter overflow.
+    """
+
+    def __init__(self, device: "Device", z: np.ndarray, kind: str,
+                 x_budget: Optional[int] = None):
+        if kind not in ("binary", "ternary"):
+            raise ValueError(f"kind must be 'binary' or 'ternary', "
+                             f"got {kind!r}")
+        self.kind = kind
+        self.config = device.config
+        self._device = device
+        z = np.asarray(z)
+        if z.ndim != 2:
+            raise ValueError("z must be [K, N]")
+        # Validate on the caller's values *before* any dtype cast, so
+        # out-of-range entries raise instead of wrapping modulo 256.
+        if kind == "ternary":
+            if not np.isin(z, (-1, 0, 1)).all():
+                raise ValueError("z must be ternary (-1/0/1)")
+            z = z.astype(np.int8)
+        else:
+            if not np.isin(z, (0, 1)).all():
+                raise ValueError("z must be binary (0/1)")
+            z = z.astype(np.uint8)
+        self.k, self.n = z.shape
+        # Plant Z once: every query indexes these resident mask images.
+        if kind == "ternary":
+            self._masks = ternary_row_masks(z)       # [K, 2, 2N]
+            self._width = 2 * self.n
+        else:
+            self._masks = z.copy()                   # [K, N]
+            self._width = self.n
+        # Flat view for the batched path: ternary row i's orientations
+        # live at 2i (positive input) and 2i+1 (negative input).
+        self._flat_masks = self._masks.reshape(-1, self._width)
+        self._planted_nonzero = self._flat_masks.any(axis=1)
+        self._resident_rows = self._flat_masks.shape[0]
+        self.x_budget = None if x_budget is None else int(x_budget)
+        self.n_digits = (None if x_budget is None
+                         else digits_for_budget(self.config.n_bits,
+                                                self.x_budget))
+        self._cluster: Optional[BankCluster] = None
+        self._batch: Optional[tuple] = None      # (slots, banks, cluster)
+        self._engines: List[CountingEngine] = []
+        self._closed = False
+        self._queries = 0
+        self._broadcasts = 0
+        self._replans = 0
+        self._retired = np.zeros(3, dtype=np.int64)  # ops/compiles/replays
+        # Engines/clusters are built lazily on first use: a plan that
+        # only ever sees run_many() never allocates the single-query
+        # cluster, and vice versa.
+
+    # ------------------------------------------------------------------
+    # resource management
+    # ------------------------------------------------------------------
+    def _live_engines(self) -> List[CountingEngine]:
+        engines = list(self._engines)
+        if self._cluster is not None:
+            engines.append(self._cluster.engine)
+        if self._batch is not None:
+            engines.append(self._batch[2].engine)
+        return engines
+
+    def _retire(self, engines: Sequence[CountingEngine]) -> None:
+        for eng in engines:
+            self._retired += (eng.measured_ops, eng.prog_compiles,
+                              eng.prog_replays)
+
+    def _ensure(self, n_digits: int) -> None:
+        """(Re)build single-query resources for at least ``n_digits``."""
+        if self.n_digits is not None and n_digits <= self.n_digits \
+                and (self._cluster is not None or self._engines):
+            return
+        had = self._cluster is not None or bool(self._engines)
+        if had:
+            self._replans += 1
+        self.n_digits = max(n_digits, self.n_digits or 1)
+        cfg = self.config
+        if cfg.resolved_backend == "word":
+            self._retire([self._cluster.engine] if self._cluster else [])
+            self._cluster = BankCluster(
+                cfg.n_bits, self.n_digits, self._width,
+                n_banks=max(1, min(cfg.n_banks, self.k)),
+                fault_model=cfg.fault_model, fr_checks=cfg.fr_checks)
+        else:
+            self._retire(self._engines)
+            count = 2 if self.kind == "ternary" else 1
+            self._engines = [
+                CountingEngine(cfg.n_bits, self.n_digits, self.n,
+                               fault_model=cfg.fault_model,
+                               fr_checks=cfg.fr_checks, backend="bit")
+                for _ in range(count)]
+            for eng in self._engines:
+                eng.reset_counters()
+
+    def _ensure_batch(self, slots: int, n_digits: int) -> BankCluster:
+        """(Re)build the batched chunk cluster (word backend only)."""
+        if self._batch is not None:
+            b_slots, _, cluster = self._batch
+            if b_slots >= slots and cluster.engine.n_digits >= n_digits:
+                return cluster
+            self._retire([cluster.engine])
+            self._replans += 1
+        cfg = self.config
+        cluster = BankCluster(
+            cfg.n_bits, n_digits, self._width,
+            n_banks=slots * _BATCH_BANKS,
+            fault_model=cfg.fault_model, fr_checks=cfg.fr_checks)
+        self._batch = (slots, _BATCH_BANKS, cluster)
+        return cluster
+
+    def close(self) -> None:
+        """Release engines, clusters and mask images; further queries
+        raise.  The owning device forgets the plan so long-lived shared
+        devices do not pin closed plans' memory."""
+        if self._closed:
+            return
+        self._retire(self._live_engines())
+        self._cluster = None
+        self._batch = None
+        self._engines = []
+        self._masks = self._flat_masks = self._planted_nonzero = None
+        self._closed = True
+        self._device._forget(self)
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("plan is closed (device shut down?)")
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def _validate(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.int64)
+        if x.ndim != 1 or x.size != self.k:
+            raise ValueError(f"query must be a length-{self.k} vector")
+        if self.kind == "binary" and (x < 0).any():
+            raise ValueError("binary plans expect non-negative inputs; "
+                             "use a ternary plan for signed streams")
+        return x
+
+    def _updates(self, x: np.ndarray):
+        """Resident-mask ``(value, mask)`` pairs for one query."""
+        if self.kind == "ternary":
+            return [(int(abs(x[i])), self._masks[i, 0 if x[i] > 0 else 1])
+                    for i in range(self.k) if x[i] != 0]
+        return [(int(x[i]), self._masks[i]) for i in range(self.k)
+                if x[i] != 0]
+
+    def _reduce(self, reduced: np.ndarray) -> np.ndarray:
+        """Fold a reduced lane vector to the signed output (ternary)."""
+        if self.kind == "ternary":
+            halves = reduced.reshape(2, self.n)
+            return halves[0].astype(np.int64) - halves[1].astype(np.int64)
+        return reduced.astype(np.int64)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        """Answer one query against the resident Z."""
+        self._check_open()
+        x = self._validate(x)
+        self._ensure(digits_for_budget(
+            self.config.n_bits, int(np.abs(x).sum())))
+        self._queries += 1
+        strict = self.config.strict_reads
+        if self._cluster is not None:
+            before = self._cluster.broadcasts
+            self._cluster.reset()
+            self._cluster.dispatch(self._updates(x))
+            self._broadcasts += self._cluster.broadcasts - before
+            return self._reduce(self._cluster.read_reduced(strict=strict))
+        for eng in self._engines:
+            eng.reset_counters()
+        if self.kind == "binary":
+            eng = self._engines[0]
+            for i in range(self.k):
+                if x[i] == 0:
+                    continue                 # zero-skipping (Sec. 7.2.3)
+                eng.load_mask(0, self._masks[i])
+                eng.accumulate(int(x[i]))
+                self._broadcasts += 1
+            return eng.read_values(strict=strict).astype(np.int64)
+        pos, neg = self._engines
+        for i in range(self.k):
+            if x[i] == 0:
+                continue
+            magnitude = int(abs(x[i]))
+            wide = self._masks[i, 0 if x[i] > 0 else 1]
+            up, down = wide[:self.n], wide[self.n:]
+            if up.any():
+                pos.load_mask(0, up)
+                pos.accumulate(magnitude)
+                self._broadcasts += 1
+            if down.any():
+                neg.load_mask(0, down)
+                neg.accumulate(magnitude)
+                self._broadcasts += 1
+        return (pos.read_values(strict=strict).astype(np.int64)
+                - neg.read_values(strict=strict).astype(np.int64))
+
+    def run_many(self, xs: np.ndarray) -> np.ndarray:
+        """Answer a batch of queries ``xs [Q, K]`` -> ``[Q, N]``.
+
+        On the word backend, queries are dealt across bank shards:
+        every slot owns a private group of banks, same-magnitude updates
+        from *different* queries share one broadcast wave, and a single
+        read-out retires the whole chunk.  The bit backend streams
+        queries one by one (it exists for bit-exact reference, not
+        throughput).
+        """
+        self._check_open()
+        xs = np.asarray(xs, dtype=np.int64)
+        if xs.ndim != 2 or xs.shape[1] != self.k:
+            raise ValueError(f"queries must be [Q, {self.k}]")
+        if xs.shape[0] == 0:
+            return np.zeros((0, self.n), dtype=np.int64)
+        if self.config.resolved_backend != "word":
+            return np.stack([self(x) for x in xs])
+        out = np.zeros((xs.shape[0], self.n), dtype=np.int64)
+        slots = max(1, min(_MAX_BATCH_SLOTS, xs.shape[0],
+                           _MAX_BATCH_LANES
+                           // max(1, _BATCH_BANKS * self._width)))
+        for start in range(0, xs.shape[0], slots):
+            chunk = xs[start:start + slots]
+            out[start:start + slots] = self._run_chunk(chunk, slots)
+        return out
+
+    def _run_chunk(self, chunk: np.ndarray, slots: int) -> np.ndarray:
+        """One batched chunk: same-magnitude waves across bank groups.
+
+        Every query slot owns ``_BATCH_BANKS`` banks; an update of
+        magnitude ``m`` from slot ``q`` is dealt round-robin into that
+        group, and one broadcast ``accumulate(m)`` retires a whole wave
+        of masks across all slots.  Because each slot's same-magnitude
+        updates split over its banks, the worst-case *lane* only sees
+        ``depth(m) = max_slot ceil(count / banks)`` hits per magnitude
+        -- the exact bound the digit sizing below uses.
+        """
+        n_queries = chunk.shape[0]
+        if self.kind == "binary" and (chunk < 0).any():
+            raise ValueError("binary plans expect non-negative inputs; "
+                             "use a ternary plan for signed streams")
+        self._queries += n_queries
+        # Update table: (slot, planted-row, magnitude), zero rows and
+        # all-zero planted masks skipped.
+        q_idx, k_idx = np.nonzero(chunk)
+        vals = chunk[q_idx, k_idx]
+        rows = (2 * k_idx + (vals < 0) if self.kind == "ternary"
+                else k_idx)
+        keep = self._planted_nonzero[rows]
+        q_idx, rows = q_idx[keep], rows[keep]
+        mags = np.abs(vals[keep])
+        if mags.size == 0:
+            return np.zeros((n_queries, self.n), dtype=np.int64)
+        # Deal updates: sort by (magnitude, slot, row) so each (m, q)
+        # queue is deterministic, then position p in the queue lands in
+        # bank p % banks of wave p // banks.
+        banks = _BATCH_BANKS
+        order = np.lexsort((rows, q_idx, mags))
+        q_s, r_s, m_s = q_idx[order], rows[order], mags[order]
+        upd = np.arange(m_s.size)
+        new_queue = np.ones(m_s.size, dtype=bool)
+        new_queue[1:] = (m_s[1:] != m_s[:-1]) | (q_s[1:] != q_s[:-1])
+        pos = upd - np.maximum.accumulate(np.where(new_queue, upd, 0))
+        new_mag = np.ones(m_s.size, dtype=bool)
+        new_mag[1:] = m_s[1:] != m_s[:-1]
+        mag_id = np.cumsum(new_mag) - 1
+        depth = np.zeros(int(mag_id[-1]) + 1, dtype=np.int64)
+        np.maximum.at(depth, mag_id, pos // banks + 1)
+        wave_base = np.concatenate(([0], np.cumsum(depth)[:-1]))
+        wave_id = wave_base[mag_id] + pos // banks
+        bank_col = q_s * banks + pos % banks
+        n_waves = int(depth.sum())
+        mag_of_wave = np.repeat(m_s[new_mag], depth)
+        # Digits cover the worst-case lane -- depth(m) hits of each m --
+        # floored by the declared budget's sizing so a plan whose
+        # x_budget already covers later, larger batches never tears the
+        # cluster down mid-stream.
+        bound = int((m_s[new_mag] * depth).sum())
+        cluster = self._ensure_batch(
+            slots, max(digits_for_budget(self.config.n_bits, bound),
+                       self.n_digits or 1))
+        cluster.reset()
+        slots = self._batch[0]       # cached cluster may be wider
+        eng = cluster.engine
+        width = self._width
+        # Scatter planted masks into wave images (blockwise, so huge
+        # chunks never materialize hundreds of MB at once) and
+        # broadcast each wave.
+        block = max(1, (1 << 24) // max(1, cluster.n_lanes))
+        for lo in range(0, n_waves, block):
+            hi = min(lo + block, n_waves)
+            sel = (wave_id >= lo) & (wave_id < hi)
+            wide = np.zeros((hi - lo, slots * banks, width),
+                            dtype=np.uint8)
+            wide[wave_id[sel] - lo, bank_col[sel]] = \
+                self._flat_masks[r_s[sel]]
+            wide = wide.reshape(hi - lo, -1)
+            for w in range(hi - lo):
+                eng.load_mask(0, wide[w])
+                eng.accumulate(int(mag_of_wave[lo + w]))
+        self._broadcasts += n_waves
+        partials = cluster.read_bank_values(strict=self.config.strict_reads)
+        per_slot = partials.reshape(slots, banks, width).sum(axis=1)
+        per_slot = per_slot[:n_queries]
+        if self.kind == "ternary":
+            return per_slot[:, :self.n] - per_slot[:, self.n:]
+        return per_slot
+
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> PlanStats:
+        """Snapshot of this plan's cost counters."""
+        live = self._live_engines()
+        ops = self._retired + [
+            sum(e.measured_ops for e in live),
+            sum(e.prog_compiles for e in live),
+            sum(e.prog_replays for e in live)]
+        resident = self._resident_rows
+        return PlanStats(queries=self._queries,
+                         broadcasts=self._broadcasts,
+                         replans=self._replans,
+                         resident_rows=resident,
+                         measured_ops=int(ops[0]),
+                         program_compiles=int(ops[1]),
+                         program_replays=int(ops[2]))
+
+
+class GemmPlan:
+    """A planted GEMM: ``plan(X)`` computes ``X @ Z`` row-streamed.
+
+    Thin veneer over :class:`GemvPlan`: each output row of ``X @ Z`` is
+    one GEMV query, so a GEMM is exactly ``run_many`` -- Z planted once,
+    counter rows recycled between output rows (paper Sec. 5.2.2).
+    """
+
+    def __init__(self, device: "Device", z: np.ndarray, kind: str,
+                 x_budget: Optional[int] = None):
+        self._gemv = GemvPlan(device, z, kind, x_budget=x_budget)
+
+    @property
+    def kind(self) -> str:
+        return self._gemv.kind
+
+    @property
+    def stats(self) -> PlanStats:
+        return self._gemv.stats
+
+    def __call__(self, xs: np.ndarray) -> np.ndarray:
+        return self._gemv.run_many(xs)
+
+    def run_many(self, xs: np.ndarray) -> np.ndarray:
+        return self._gemv.run_many(xs)
+
+    def close(self) -> None:
+        self._gemv.close()
+
+
+def _infer_kind(z: np.ndarray) -> str:
+    """Binary when all entries are 0/1, ternary when -1 appears."""
+    z = np.asarray(z)
+    if np.isin(z, (0, 1)).all():
+        return "binary"
+    return "ternary"
+
+
+class Device:
+    """Owner of engine/cluster resources behind weight-stationary plans.
+
+    Construct from an :class:`EngineConfig` (or keyword overrides), use
+    as a context manager, and create plans with :meth:`plan_gemv` /
+    :meth:`plan_gemm`.  Closing the device closes every plan it handed
+    out.
+
+    >>> import numpy as np
+    >>> dev = Device(backend="fast", n_bits=2)
+    >>> plan = dev.plan_gemv(np.eye(3, dtype=np.uint8), kind="binary")
+    >>> plan(np.array([4, 0, 9]))
+    array([4, 0, 9])
+    >>> dev.close()
+    >>> plan(np.array([1, 1, 1]))
+    Traceback (most recent call last):
+        ...
+    RuntimeError: plan is closed (device shut down?)
+    """
+
+    def __init__(self, config: Optional[EngineConfig] = None, **overrides):
+        if config is None:
+            config = EngineConfig(**overrides)
+        elif overrides:
+            config = replace(config, **overrides)
+        self.config = config
+        self._plans: List = []
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def plan_gemv(self, z: np.ndarray, kind: Optional[str] = None,
+                  x_budget: Optional[int] = None) -> GemvPlan:
+        """Plant ``z`` for streamed GEMV queries (``y = x @ z``)."""
+        self._check_open()
+        plan = GemvPlan(self, z, kind or _infer_kind(z), x_budget=x_budget)
+        self._plans.append(plan)
+        return plan
+
+    def plan_gemm(self, z: np.ndarray, kind: Optional[str] = None,
+                  x_budget: Optional[int] = None) -> GemmPlan:
+        """Plant ``z`` for streamed GEMM queries (``Y = X @ z``)."""
+        self._check_open()
+        plan = GemmPlan(self, z, kind or _infer_kind(z), x_budget=x_budget)
+        self._plans.append(plan)
+        return plan
+
+    # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("device is closed")
+
+    def _forget(self, plan) -> None:
+        """Drop a closed plan from the registry (called by plan.close)."""
+        self._plans = [p for p in self._plans
+                       if p is not plan and getattr(p, "_gemv", None)
+                       is not plan]
+
+    def close(self) -> None:
+        """Release every plan's engines and clusters."""
+        for plan in list(self._plans):
+            plan.close()
+        self._closed = True
+
+    def __enter__(self) -> "Device":
+        self._check_open()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -242,8 +242,15 @@ class WordlineSubarray:
         return unpack_bits(self.cells[self._data_row(index)], self.n_cols)
 
     def read_rows(self, indices: Sequence[int]) -> np.ndarray:
-        """Stack several data rows into a ``[len(indices), n_cols]`` array."""
-        return np.stack([self.read_data_row(i) for i in indices])
+        """Stack several data rows into a ``[len(indices), n_cols]`` array.
+
+        One bulk unpack for the whole batch -- the wide read-out path
+        (``CountingEngine.read_values`` over many digits and banks)
+        leans on this.
+        """
+        rows = self.cells[[self._data_row(i) for i in indices]]
+        return np.unpackbits(np.ascontiguousarray(rows).view(np.uint8),
+                             axis=1, count=self.n_cols, bitorder="little")
 
     def read_b_row(self, address: Address) -> np.ndarray:
         """Debug read of a B/C-group address through its first port."""

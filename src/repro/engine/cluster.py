@@ -123,7 +123,13 @@ class BankCluster:
         return self.read_bank_values(strict=strict).sum(axis=0)
 
     def reset(self) -> None:
-        """Zero all counters (for reuse across GEMM output rows)."""
+        """Zero all counters; loaded mask rows stay resident.
+
+        The between-queries reset of the session layer (and of GEMM
+        output-row reuse): counter and O_next rows are cleared and the
+        scheduler restarts, but planted masks are untouched -- see
+        :meth:`~repro.engine.machine.CountingEngine.reset_counters`.
+        """
         self.engine.reset_counters()
 
     @property

@@ -104,8 +104,11 @@ class CountingEngine:
         self.subarray = subarray_cls(self.layout.total_rows, n_lanes,
                                      fault_model)
         # Increment/resolve μPrograms depend only on (digit, k, mask row),
-        # so they compile once and replay from this cache.
+        # so they compile once and replay from this cache.  The plan
+        # layer surfaces the compile/replay split through Plan.stats.
         self._prog_cache = {}
+        self.prog_compiles = 0   # cache misses: μPrograms built
+        self.prog_replays = 0    # cache hits: compiled μPrograms reused
         self.scheduler = scheduler or IARMScheduler(n_bits, n_digits)
         if self.fr_checks:
             # Any XOR-homomorphic code works; Hamming (72,64) by default,
@@ -131,13 +134,24 @@ class CountingEngine:
         self.subarray.write_data_row(self.layout.mask_rows[index], bits)
 
     def reset_counters(self) -> None:
-        """Zero all digit, O_next and scratch rows."""
+        """Zero all digit and O_next rows; masks stay resident.
+
+        This is the session layer's between-queries reset: counter state
+        (including pending-carry flags) is cleared, the scheduler's
+        virtual counter restarts from the all-zero bound, but loaded
+        mask rows are untouched -- plan reuse depends on that invariant
+        (pinned by ``tests/test_device.py``).
+        """
         zero = np.zeros(self.n_lanes, dtype=np.uint8)
         for rows in self.layout.digit_bit_rows:
             for r in rows:
                 self.subarray.write_data_row(r, zero)
         for r in self.layout.onext_rows:
             self.subarray.write_data_row(r, zero)
+        # Zeroed rows mean no outstanding carries anywhere: the next
+        # read needs no flush and the scheduler restarts tight.
+        self.scheduler.reset()
+        self._flushed = True
 
     # ------------------------------------------------------------------
     # protected building blocks
@@ -220,6 +234,9 @@ class CountingEngine:
                                               lay.scratch_rows,
                                               lay.onext_rows[digit])
                 self._prog_cache[key] = prog
+                self.prog_compiles += 1
+            else:
+                self.prog_replays += 1
             self.subarray.run_program(prog)
             return
 
@@ -284,6 +301,9 @@ class CountingEngine:
         if prog is None:
             prog = MicroProgram("clear_onext", (aap("C0", onext),))
             self._prog_cache[key] = prog
+            self.prog_compiles += 1
+        else:
+            self.prog_replays += 1
         self.subarray.run_program(prog)
 
     def execute_events(self, events: Sequence[Event],
@@ -323,16 +343,23 @@ class CountingEngine:
         """
         if not self._flushed:
             self.flush()
-        totals = np.zeros(self.n_lanes, dtype=np.int64)
-        weight = 1
-        for d in range(self.n_digits):
-            lanes = self.subarray.read_rows(self.layout.digit_bit_rows[d])
-            totals += decode_lanes(lanes, strict=strict) * weight
-            onext = self.subarray.read_data_row(self.layout.onext_rows[d])
-            if strict and d == self.n_digits - 1 and onext.any():
-                raise OverflowError("counter capacity exceeded")
-            totals += onext.astype(np.int64) * weight * self.radix
-            weight *= self.radix
+        d_count, n, lanes = self.n_digits, self.n_bits, self.n_lanes
+        planes = self.subarray.read_rows(
+            [r for rows in self.layout.digit_bit_rows for r in rows])
+        # One decode call covers all digits: [D, n, L] -> [n, D*L].  The
+        # flattened order is digit-major, so a strict invalid-state
+        # error still reports the lowest corrupted digit first.
+        values = decode_lanes(
+            planes.reshape(d_count, n, lanes).transpose(1, 0, 2)
+            .reshape(n, d_count * lanes),
+            strict=strict).reshape(d_count, lanes)
+        onext = self.subarray.read_rows(self.layout.onext_rows)
+        if strict and onext[-1].any():
+            raise OverflowError("counter capacity exceeded")
+        weights = self.radix ** np.arange(d_count, dtype=np.int64)
+        totals = weights @ values
+        if onext.any():       # surviving flags only occur in faulty runs
+            totals = totals + (weights * self.radix) @ onext.astype(np.int64)
         return totals
 
     # ------------------------------------------------------------------

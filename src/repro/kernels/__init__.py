@@ -1,15 +1,24 @@
 """Kernels accelerated by Count2Multiply: integer-binary/ternary GEMV and
-GEMM, CSD bit-sliced integer-integer products, and tensor ops."""
+GEMM, CSD bit-sliced integer-integer products, and tensor ops.
+
+The GEMV/GEMM entry points are one-shot wrappers over the session API in
+:mod:`repro.device`; :mod:`repro.kernels.lowering` holds the shared
+lowering vocabulary (update builders, digit sizing, cluster sizing) both
+layers use.
+"""
 
 from repro.kernels.bitslice import (bitsliced_gemm, bitsliced_gemv,
                                     csd_digits, csd_slices)
 from repro.kernels.gemm import binary_gemm, ternary_gemm
-from repro.kernels.gemv import binary_gemv, required_digits, ternary_gemv
+from repro.kernels.gemv import binary_gemv, ternary_gemv
+from repro.kernels.lowering import (DEFAULT_BANKS, binary_updates,
+                                    required_digits, ternary_updates)
 from repro.kernels.ops import engine_vector_add, relu, shift_left
 
 __all__ = [
     "bitsliced_gemm", "bitsliced_gemv", "csd_digits", "csd_slices",
     "binary_gemm", "ternary_gemm",
     "binary_gemv", "required_digits", "ternary_gemv",
+    "DEFAULT_BANKS", "binary_updates", "ternary_updates",
     "engine_vector_add", "relu", "shift_left",
 ]

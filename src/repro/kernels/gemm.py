@@ -2,36 +2,55 @@
 (paper Sec. 5.2.2).
 
 Each output row ``Y[o, :]`` is an independent masked accumulation
-``sum_k X[o, k] * Z[k, :]`` reusing the counter rows: the engine's
-counters are read out and reset between output rows, exactly as the
-paper describes copying the counter rows out and reusing them, which
-avoids duplicating the far larger mask storage for Z.  The fast backend
-reuses one :class:`~repro.engine.cluster.BankCluster` the same way --
-its bank shards and compiled μProgram cache survive across output rows.
+``sum_k X[o, k] * Z[k, :]`` reusing the counter rows: counters are read
+out and reset between output rows, exactly as the paper describes
+copying the counter rows out and reusing them, which avoids duplicating
+the far larger mask storage for Z.  These one-shot entry points wrap a
+single-use :class:`~repro.device.GemmPlan`: Z is planted once, the
+output rows stream through ``plan.run_many`` (batched across bank
+shards on the fast backend), and compiled μPrograms are shared by every
+row.  Long-lived traffic should hold its own plan via
+:meth:`repro.device.Device.plan_gemm`.
 """
 
 from __future__ import annotations
+
+from typing import Optional
 
 import numpy as np
 
 from repro.dram.faults import FAULT_FREE, FaultModel
 from repro.engine.machine import CountingEngine
-from repro.kernels.gemv import (_cluster_for, binary_gemv, binary_updates,
-                                required_digits, ternary_gemv,
-                                ternary_updates)
+from repro.kernels.lowering import DEFAULT_BANKS
 
 __all__ = ["binary_gemm", "ternary_gemm"]
+
+
+def _one_shot_gemm(x: np.ndarray, z: np.ndarray, kind: str, n_bits: int,
+                   fault_model: FaultModel, fr_checks: int,
+                   backend: Optional[str]) -> np.ndarray:
+    from repro.device import Device, EngineConfig
+    resolved = CountingEngine.normalize_backend(backend or "fast")
+    nnz = int(max(1, np.count_nonzero(x, axis=1).max(initial=1)))
+    row_budget = int(np.abs(x).sum(axis=1).max(initial=0))
+    config = EngineConfig(n_bits=n_bits, fault_model=fault_model,
+                          fr_checks=fr_checks, backend=resolved,
+                          n_banks=min(DEFAULT_BANKS, nnz))
+    with Device(config) as dev:
+        plan = dev.plan_gemm(z, kind=kind, x_budget=row_budget)
+        return plan(x)
 
 
 def binary_gemm(x: np.ndarray, z: np.ndarray, n_bits: int = 2,
                 fault_model: FaultModel = FAULT_FREE,
                 fr_checks: int = 0,
-                backend: str = "fast") -> np.ndarray:
+                backend: Optional[str] = None) -> np.ndarray:
     """``Y = X @ Z`` with non-negative integer X [M, K], binary Z [K, N].
 
-    Reuses one counting engine (or one bank cluster on the fast path)
-    across output rows: counter rows are reset, masks rebroadcast per k
-    as in :func:`~repro.kernels.gemv.binary_gemv`.
+    Plants Z once and streams the output rows through one plan: masks
+    stay resident, counter rows are reset per row, and the fast backend
+    deals rows across bank-shard slots so same-value updates from
+    different rows share a broadcast.
 
     >>> import numpy as np
     >>> binary_gemm(np.array([[1, 2], [0, 3]]),
@@ -46,34 +65,14 @@ def binary_gemm(x: np.ndarray, z: np.ndarray, n_bits: int = 2,
     if (x < 0).any():
         raise ValueError("binary_gemm expects non-negative inputs; use "
                          "ternary_gemm for signed streams")
-    m, _ = x.shape
-    n = z.shape[1]
-    digits = required_digits(n_bits, x.flatten())
-    out = np.zeros((m, n), dtype=np.int64)
-    strict = fault_model.p_cim == 0
-
-    if CountingEngine.normalize_backend(backend) == "word":
-        cluster = _cluster_for(x.shape[1], n_bits, digits, n,
-                               fault_model, fr_checks)
-        for o in range(m):
-            cluster.reset()
-            cluster.dispatch(binary_updates(x[o], z))
-            out[o] = cluster.read_reduced(strict=strict)
-        return out
-
-    engine = CountingEngine(n_bits, digits, n, fault_model=fault_model,
-                            fr_checks=fr_checks, backend=backend)
-    for o in range(m):
-        out[o] = binary_gemv(x[o], z, n_bits=n_bits,
-                             fault_model=fault_model,
-                             fr_checks=fr_checks, engine=engine)
-    return out
+    return _one_shot_gemm(x, z, "binary", n_bits, fault_model, fr_checks,
+                          backend)
 
 
 def ternary_gemm(x: np.ndarray, z: np.ndarray, n_bits: int = 2,
                  fault_model: FaultModel = FAULT_FREE,
                  fr_checks: int = 0,
-                 backend: str = "fast") -> np.ndarray:
+                 backend: Optional[str] = None) -> np.ndarray:
     """``Y = X @ Z`` with signed integer X [M, K] and ternary Z [K, N].
 
     >>> import numpy as np
@@ -89,22 +88,5 @@ def ternary_gemm(x: np.ndarray, z: np.ndarray, n_bits: int = 2,
         raise ValueError("shape mismatch: x [M, K], z [K, N]")
     if not np.isin(z, (-1, 0, 1)).all():
         raise ValueError("z must be ternary (-1/0/1)")
-    n = z.shape[1]
-    strict = fault_model.p_cim == 0
-
-    if CountingEngine.normalize_backend(backend) == "word":
-        digits = required_digits(n_bits, x.flatten())
-        cluster = _cluster_for(x.shape[1], n_bits, digits, 2 * n,
-                               fault_model, fr_checks)
-        out = np.zeros((x.shape[0], n), dtype=np.int64)
-        for o in range(x.shape[0]):
-            cluster.reset()
-            cluster.dispatch(ternary_updates(x[o], z))
-            halves = cluster.read_reduced(strict=strict).reshape(2, n)
-            out[o] = halves[0] - halves[1]
-        return out
-
-    rows = [ternary_gemv(x[o], z, n_bits=n_bits, fault_model=fault_model,
-                         fr_checks=fr_checks, backend=backend)
-            for o in range(x.shape[0])]
-    return np.stack(rows)
+    return _one_shot_gemm(x, z, "ternary", n_bits, fault_model, fr_checks,
+                          backend)

@@ -9,6 +9,13 @@ the mask choice so counters only ever count upward (the host-side trick
 of Sec. 5.1; the paper's single-bank ``O_sign`` variant is modeled by
 the golden :class:`~repro.core.counter.CounterArray`).
 
+These entry points are thin one-shot wrappers over the session API: each
+call opens a :class:`~repro.device.Device`, plants Z in a single-use
+plan and streams one query.  Repeated traffic against the same Z should
+hold its own plan instead (``device.plan_gemv(z)``) -- planting and
+μProgram compilation then amortize across queries (see
+:mod:`repro.device`).
+
 Two execution paths share these entry points:
 
 * ``backend="fast"`` (default) routes through a :class:`~repro.engine.
@@ -26,90 +33,60 @@ from typing import Optional
 import numpy as np
 
 from repro.dram.faults import FAULT_FREE, FaultModel
-from repro.engine.cluster import BankCluster
 from repro.engine.machine import CountingEngine
+# binary_updates/ternary_updates/DEFAULT_BANKS re-exported for
+# backwards compatibility -- they were public here before moving to the
+# shared lowering module.
+from repro.kernels.lowering import (DEFAULT_BANKS, binary_updates,
+                                    required_digits, ternary_updates)
 
 __all__ = ["binary_gemv", "ternary_gemv", "required_digits"]
 
-#: Bank shards a kernel-built cluster spreads its waves over.
-DEFAULT_BANKS = 8
 
+def _resolve_backend(backend: Optional[str],
+                     engine: Optional[CountingEngine]) -> str:
+    """One-shot kernels' engine/backend reconciliation.
 
-def required_digits(n_bits: int, x: np.ndarray) -> int:
-    """Digits needed to accumulate the worst-case dot product of ``x``.
-
-    The worst case is the all-ones mask column: every ``|x[k]|`` lands on
-    the same counter, so the counter must represent ``sum(|x|)``.  A
-    D-digit radix-``2n`` counter holds the ``(2n)**D`` values ``0 ..
-    (2n)**D - 1``; the ``+ 1`` below converts the largest value the
-    counter must *reach* into the number of states it must *have*, i.e.
-    we need ``(2n)**D >= sum(|x|) + 1``.
-
-    An all-zero (or empty) ``x`` accumulates nothing; one digit already
-    represents the 0 result, and the early return keeps the search loop
-    away from the degenerate ``worst == 1`` bound.
-
-    >>> required_digits(2, [3, 4, 8])        # sum 15 -> 4**2 = 16 states
-    2
-    >>> required_digits(2, [0, 0])           # all-zero input edge case
-    1
-    >>> required_digits(2, [-8, 7])          # signed: magnitudes count
-    2
+    An explicit ``engine=`` pins execution to that engine's own backend;
+    an *explicitly* passed ``backend=`` that disagrees with it is a
+    contradiction we refuse (silently preferring the engine hid real
+    bugs).  ``backend=None`` means "not specified": it follows the
+    engine when one is given and defaults to ``"fast"`` otherwise.
     """
-    total = int(np.abs(np.asarray(x)).astype(np.int64).sum())
-    if total == 0:
-        return 1
-    radix = 2 * n_bits
-    d = 1
-    while radix ** d < total + 1:
-        d += 1
-    return d
+    if engine is None:
+        return CountingEngine.normalize_backend(backend or "fast")
+    if backend is not None and \
+            CountingEngine.normalize_backend(backend) != engine.backend:
+        raise ValueError(
+            f"backend={backend!r} contradicts the explicit engine's "
+            f"backend={engine.backend!r}; drop one of the two arguments "
+            f"(an explicit engine always runs on its own backend)")
+    return engine.backend
 
 
-def _cluster_for(n_updates: int, n_bits: int, n_digits: int, lanes: int,
-                 fault_model: FaultModel, fr_checks: int) -> BankCluster:
-    """Size a cluster to a batch: never more banks than updates."""
-    return BankCluster(n_bits, n_digits, lanes,
-                       n_banks=max(1, min(DEFAULT_BANKS, n_updates)),
-                       fault_model=fault_model, fr_checks=fr_checks)
-
-
-def binary_updates(x: np.ndarray, z: np.ndarray):
-    """``(value, mask)`` pairs of a binary GEMV, zero rows skipped."""
-    return [(int(x[i]), z[i]) for i in range(x.size) if x[i] != 0]
-
-
-def ternary_updates(x: np.ndarray, z: np.ndarray):
-    """``(|value|, [up-mask | down-mask])`` pairs of a ternary GEMV.
-
-    The sign of ``x[k]`` is folded into the mask choice: positive inputs
-    route ``z == +1`` lanes to the up half and ``z == -1`` lanes to the
-    down half, negative inputs swap the halves, so both halves only ever
-    count upward (Sec. 5.1).
-    """
-    plus = (z == 1).astype(np.uint8)
-    minus = (z == -1).astype(np.uint8)
-    updates = []
-    for i in range(x.size):
-        if x[i] == 0:
-            continue
-        up, down = ((plus[i], minus[i]) if x[i] > 0
-                    else (minus[i], plus[i]))
-        updates.append((int(abs(x[i])), np.concatenate([up, down])))
-    return updates
+def _one_shot_device(n_bits: int, fault_model: FaultModel, fr_checks: int,
+                     backend: str, n_updates: int):
+    """A single-use Device sized like the historical kernel cluster."""
+    from repro.device import Device, EngineConfig
+    return Device(EngineConfig(
+        n_bits=n_bits, fault_model=fault_model, fr_checks=fr_checks,
+        backend=backend,
+        n_banks=max(1, min(DEFAULT_BANKS, n_updates))))
 
 
 def binary_gemv(x: np.ndarray, z: np.ndarray, n_bits: int = 2,
                 fault_model: FaultModel = FAULT_FREE,
                 fr_checks: int = 0,
                 engine: Optional[CountingEngine] = None,
-                backend: str = "fast") -> np.ndarray:
+                backend: Optional[str] = None) -> np.ndarray:
     """``y = x @ z`` with non-negative integer ``x`` and binary ``z``.
 
     ``x`` has shape ``[K]``, ``z`` ``[K, N]`` with entries in {0, 1}.
     Executes gate-level on a counting engine (one counter per output).
-    Passing an explicit ``engine`` (row-reuse across GEMM output rows)
-    pins the update-at-a-time path on that engine's own backend.
+    ``backend`` defaults to ``"fast"``.  Passing an explicit ``engine``
+    (row-reuse across GEMM output rows) pins the update-at-a-time path
+    on that engine's own backend; combining it with a contradicting
+    explicit ``backend=`` raises.
 
     >>> import numpy as np
     >>> binary_gemv(np.array([2, 3]), np.array([[1, 0], [1, 1]]))
@@ -122,23 +99,19 @@ def binary_gemv(x: np.ndarray, z: np.ndarray, n_bits: int = 2,
     if (x < 0).any():
         raise ValueError("binary_gemv expects non-negative inputs; use "
                          "ternary_gemv for signed streams")
-    k, n = z.shape
+    resolved = _resolve_backend(backend, engine)
     strict = fault_model.p_cim == 0
 
-    if engine is None and CountingEngine.normalize_backend(backend) == "word":
-        updates = binary_updates(x, z)
-        cluster = _cluster_for(len(updates), n_bits,
-                               required_digits(n_bits, x), n,
-                               fault_model, fr_checks)
-        cluster.dispatch(updates)
-        return cluster.read_reduced(strict=strict)
-
     if engine is None:
-        engine = CountingEngine(n_bits, required_digits(n_bits, x), n,
-                                fault_model=fault_model,
-                                fr_checks=fr_checks, backend=backend)
+        with _one_shot_device(n_bits, fault_model, fr_checks, resolved,
+                              int(np.count_nonzero(x))) as dev:
+            plan = dev.plan_gemv(z, kind="binary",
+                                 x_budget=int(np.abs(x).sum()))
+            return plan(x)
+
+    # Explicit-engine path: stream updates on the caller's engine.
     engine.reset_counters()
-    for i in range(k):
+    for i in range(x.size):
         if x[i] == 0:
             continue                       # zero-skipping (Sec. 7.2.3)
         engine.load_mask(0, z[i])
@@ -149,7 +122,7 @@ def binary_gemv(x: np.ndarray, z: np.ndarray, n_bits: int = 2,
 def ternary_gemv(x: np.ndarray, z: np.ndarray, n_bits: int = 2,
                  fault_model: FaultModel = FAULT_FREE,
                  fr_checks: int = 0,
-                 backend: str = "fast") -> np.ndarray:
+                 backend: Optional[str] = None) -> np.ndarray:
     """``y = x @ z`` with signed integer ``x`` and ternary ``z``.
 
     Two counter banks accumulate the positive and negative contributions
@@ -170,37 +143,9 @@ def ternary_gemv(x: np.ndarray, z: np.ndarray, n_bits: int = 2,
         raise ValueError("shape mismatch: x [K], z [K, N]")
     if not np.isin(z, (-1, 0, 1)).all():
         raise ValueError("z must be ternary (-1/0/1)")
-    k, n = z.shape
-    digits = required_digits(n_bits, x)
-    strict = fault_model.p_cim == 0
-
-    if CountingEngine.normalize_backend(backend) == "word":
-        updates = ternary_updates(x, z)
-        cluster = _cluster_for(len(updates), n_bits, digits, 2 * n,
-                               fault_model, fr_checks)
-        cluster.dispatch(updates)
-        halves = cluster.read_reduced(strict=strict).reshape(2, n)
-        return halves[0] - halves[1]
-
-    pos = CountingEngine(n_bits, digits, n, fault_model=fault_model,
-                         fr_checks=fr_checks, backend=backend)
-    neg = CountingEngine(n_bits, digits, n, fault_model=fault_model,
-                         fr_checks=fr_checks, backend=backend)
-    pos.reset_counters()
-    neg.reset_counters()
-    plus_masks = (z == 1).astype(np.uint8)
-    minus_masks = (z == -1).astype(np.uint8)
-    for i in range(k):
-        if x[i] == 0:
-            continue
-        magnitude = int(abs(x[i]))
-        up, down = ((plus_masks[i], minus_masks[i]) if x[i] > 0
-                    else (minus_masks[i], plus_masks[i]))
-        if up.any():
-            pos.load_mask(0, up)
-            pos.accumulate(magnitude)
-        if down.any():
-            neg.load_mask(0, down)
-            neg.accumulate(magnitude)
-    return (pos.read_values(strict=strict).astype(np.int64)
-            - neg.read_values(strict=strict).astype(np.int64))
+    resolved = _resolve_backend(backend, None)
+    with _one_shot_device(n_bits, fault_model, fr_checks, resolved,
+                          int(np.count_nonzero(x))) as dev:
+        plan = dev.plan_gemv(z, kind="ternary",
+                             x_budget=int(np.abs(x).sum()))
+        return plan(x)

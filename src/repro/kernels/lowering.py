@@ -1,0 +1,116 @@
+"""Shared GEMV/GEMM lowering helpers (paper Secs. 5.1-5.2).
+
+Both kernel modules and the session layer (:mod:`repro.device`) lower a
+matrix product to the same vocabulary: a list of ``(value, mask)``
+masked accumulations, a digit budget covering the worst-case dot
+product, and a :class:`~repro.engine.cluster.BankCluster` sized to the
+batch.  This module owns that vocabulary so ``gemm.py`` / ``device.py``
+no longer reach into ``gemv.py`` internals.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.iarm import BaseScheduler
+from repro.dram.faults import FAULT_FREE, FaultModel
+from repro.engine.cluster import BankCluster
+
+__all__ = ["DEFAULT_BANKS", "required_digits", "cluster_for",
+           "binary_updates", "ternary_updates", "ternary_row_masks"]
+
+#: Bank shards a kernel-built cluster spreads its waves over.
+DEFAULT_BANKS = 8
+
+
+def required_digits(n_bits: int, x) -> int:
+    """Digits needed to accumulate the worst-case dot product of ``x``.
+
+    The worst case is the all-ones mask column: every ``|x[k]|`` lands on
+    the same counter, so the counter must represent ``sum(|x|)``.  A
+    D-digit radix-``2n`` counter holds the ``(2n)**D`` values ``0 ..
+    (2n)**D - 1``; the ``+ 1`` below converts the largest value the
+    counter must *reach* into the number of states it must *have*, i.e.
+    we need ``(2n)**D >= sum(|x|) + 1``.
+
+    An all-zero (or empty) ``x`` accumulates nothing; one digit already
+    represents the 0 result, and the early return keeps the search loop
+    away from the degenerate ``worst == 1`` bound.
+
+    >>> required_digits(2, [3, 4, 8])        # sum 15 -> 4**2 = 16 states
+    2
+    >>> required_digits(2, [0, 0])           # all-zero input edge case
+    1
+    >>> required_digits(2, [-8, 7])          # signed: magnitudes count
+    2
+    """
+    total = int(np.abs(np.asarray(x)).astype(np.int64).sum())
+    return digits_for_budget(n_bits, total)
+
+
+def digits_for_budget(n_bits: int, budget: int) -> int:
+    """Digits whose capacity covers an accumulation budget of ``budget``.
+
+    ``budget`` is the largest total any single counter may reach (an L1
+    bound on the input stream); the session layer sizes plans from it.
+
+    >>> digits_for_budget(2, 15), digits_for_budget(2, 16)
+    (2, 3)
+    >>> digits_for_budget(2, 0)
+    1
+    """
+    if budget < 0:
+        raise ValueError("accumulation budget must be non-negative")
+    if budget == 0:
+        return 1
+    radix = 2 * n_bits
+    d = 1
+    while radix ** d < budget + 1:
+        d += 1
+    return d
+
+
+def cluster_for(n_updates: int, n_bits: int, n_digits: int, lanes: int,
+                fault_model: FaultModel = FAULT_FREE, fr_checks: int = 0,
+                n_banks: int = DEFAULT_BANKS,
+                scheduler: Optional[BaseScheduler] = None) -> BankCluster:
+    """Size a cluster to a batch: never more banks than updates."""
+    return BankCluster(n_bits, n_digits, lanes,
+                       n_banks=max(1, min(n_banks, n_updates)),
+                       fault_model=fault_model, fr_checks=fr_checks,
+                       scheduler=scheduler)
+
+
+def binary_updates(x: np.ndarray, z: np.ndarray) -> List[Tuple[int, np.ndarray]]:
+    """``(value, mask)`` pairs of a binary GEMV, zero rows skipped."""
+    return [(int(x[i]), z[i]) for i in range(x.size) if x[i] != 0]
+
+
+def ternary_row_masks(z: np.ndarray) -> np.ndarray:
+    """Both wide-mask orientations of every ternary row, ``[K, 2, 2N]``.
+
+    ``masks[i, 0]`` is the positive-input orientation ``[z==+1 | z==-1]``
+    and ``masks[i, 1]`` the sign-swapped one, so a planted matrix answers
+    any signed input by row indexing alone (the plan layer's resident
+    form of Z).
+    """
+    plus = (z == 1).astype(np.uint8)
+    minus = (z == -1).astype(np.uint8)
+    return np.stack([np.concatenate([plus, minus], axis=1),
+                     np.concatenate([minus, plus], axis=1)],
+                    axis=1)
+
+
+def ternary_updates(x: np.ndarray, z: np.ndarray) -> List[Tuple[int, np.ndarray]]:
+    """``(|value|, [up-mask | down-mask])`` pairs of a ternary GEMV.
+
+    The sign of ``x[k]`` is folded into the mask choice: positive inputs
+    route ``z == +1`` lanes to the up half and ``z == -1`` lanes to the
+    down half, negative inputs swap the halves, so both halves only ever
+    count upward (Sec. 5.1).
+    """
+    masks = ternary_row_masks(np.asarray(z))
+    return [(int(abs(x[i])), masks[i, 0 if x[i] > 0 else 1])
+            for i in range(x.size) if x[i] != 0]

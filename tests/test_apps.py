@@ -35,6 +35,24 @@ class TestFastSim:
             ref += v
         assert (acc.read() == ref).all()
 
+    @pytest.mark.parametrize("cls, kwargs", [
+        (FastJCAccumulator, {"n_bits": 2, "n_digits": 6, "n_lanes": 8}),
+        (FastRCAAccumulator, {"width": 16, "n_lanes": 8})])
+    def test_reset_reuse_stays_exact(self, cls, kwargs, rng):
+        """Plan-style reuse: reset between queries, exact results."""
+        acc = cls(**kwargs)
+        for _ in range(3):
+            acc.reset()
+            ref = np.zeros(8, dtype=np.int64)
+            for _ in range(5):
+                v = int(rng.integers(1, 30))
+                mask = rng.integers(0, 2, 8).astype(np.uint8)
+                acc.accumulate(v, mask)
+                ref += v * mask.astype(np.int64)
+            read = (acc.read(signed=False)
+                    if isinstance(acc, FastRCAAccumulator) else acc.read())
+            assert (read == ref).all()
+
     def test_rca_fault_free_exact(self, rng):
         acc = FastRCAAccumulator(width=20, n_lanes=12)
         ref = np.zeros(12, dtype=np.int64)
@@ -146,6 +164,22 @@ class TestTWN:
         assert (conv2d_ternary_cim(x, w)
                 == conv2d_ternary_reference(x, w)).all()
 
+    def test_planned_conv_streams_many_images(self, rng):
+        """Plant the filters once, stream a batch of images."""
+        from repro.apps.twn import PlannedConv2d
+        w = random_ternary_layer(2, 3, 3, seed=9)
+        layer = PlannedConv2d(w)
+        try:
+            for _ in range(3):
+                x = rng.integers(0, 10, (2, 6, 6))
+                assert (layer(x)
+                        == conv2d_ternary_reference(x, w)).all()
+            stats = layer.stats
+            assert stats.queries == 3 * 16          # 16 pixels per image
+            assert stats.replans == 0               # one plant serves all
+        finally:
+            layer.close()
+
     def test_reference_matches_direct_convolution(self, rng):
         x = rng.integers(0, 5, (1, 5, 5))
         w = random_ternary_layer(1, 1, 3, seed=2)
@@ -169,6 +203,31 @@ class TestGCN:
     def test_adjacency_has_self_loops(self):
         graph = SyntheticCitationGraph(GCNConfig(n_nodes=20, n_edges=40))
         assert (np.diag(graph.adjacency) == 1).all()
+
+    def test_forward_reuses_external_device(self):
+        """Repeated forward passes can share one device's plans."""
+        from repro.apps.gcn import gcn_forward_cim, gcn_forward_reference
+        from repro.device import Device
+        graph = SyntheticCitationGraph(GCNConfig(
+            n_nodes=24, n_edges=60, n_feats=6, n_hidden=4))
+        ref = gcn_forward_reference(graph)
+        with Device() as dev:
+            assert (gcn_forward_cim(graph, device=dev) == ref).all()
+            # Per-call plans are closed and forgotten again: the shared
+            # device does not accumulate resources across passes.
+            assert dev._plans == []
+            # The device fixes the engine config; contradicting knobs
+            # raise instead of being silently ignored.
+            with pytest.raises(ValueError, match="explicit device"):
+                gcn_forward_cim(graph, device=dev, backend="bit")
+
+    def test_planned_conv_rejects_knobs_with_external_device(self):
+        from repro.apps.twn import PlannedConv2d
+        from repro.device import Device
+        w = random_ternary_layer(1, 2, 3, seed=3)
+        with Device() as dev:
+            with pytest.raises(ValueError, match="explicit device"):
+                PlannedConv2d(w, n_bits=4, device=dev)
 
 
 class TestWorkloads:

@@ -11,18 +11,21 @@ import doctest
 import pytest
 
 import repro.core.kary
+import repro.device
 import repro.dram.wordline
 import repro.engine.cluster
 import repro.kernels.bitslice
 import repro.kernels.gemm
 import repro.kernels.gemv
+import repro.kernels.lowering
 import repro.util
 
 
 @pytest.mark.parametrize("module", [
     repro.util, repro.core.kary, repro.kernels.bitslice,
     repro.dram.wordline, repro.engine.cluster,
-    repro.kernels.gemv, repro.kernels.gemm])
+    repro.kernels.gemv, repro.kernels.gemm,
+    repro.kernels.lowering, repro.device])
 def test_doctests(module):
     result = doctest.testmod(module)
     # A module with examples must run them all cleanly.
