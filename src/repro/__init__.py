@@ -23,22 +23,29 @@ Quick start::
 
 from repro.core import (CounterArray, IARMScheduler, NaiveKaryScheduler,
                         UnitScheduler)
-from repro.device import Device, EngineConfig, GemmPlan, GemvPlan, PlanStats
+from repro.device import (AmbiguousKindWarning, Device, DeviceClosedError,
+                          EngineConfig, GemmPlan, GemvPlan,
+                          PlanClosedError, PlanStats)
 from repro.dram import AmbitSubarray, FaultModel, WordlineSubarray
 from repro.engine import BankCluster, CountingEngine
 from repro.kernels import (binary_gemm, binary_gemv, bitsliced_gemv,
                            ternary_gemm, ternary_gemv)
-from repro.perf import C2MConfig, C2MModel, GEMMShape
+from repro.perf import C2MConfig, C2MModel, GEMMShape, measured_cost
+from repro.serve import (BankPool, ExecutionReport, ModelRegistry,
+                         PoolExhausted, Response, Server)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CounterArray", "IARMScheduler", "NaiveKaryScheduler", "UnitScheduler",
-    "Device", "EngineConfig", "GemmPlan", "GemvPlan", "PlanStats",
+    "AmbiguousKindWarning", "Device", "DeviceClosedError", "EngineConfig",
+    "GemmPlan", "GemvPlan", "PlanClosedError", "PlanStats",
     "AmbitSubarray", "FaultModel", "WordlineSubarray",
     "BankCluster", "CountingEngine",
     "binary_gemm", "binary_gemv", "bitsliced_gemv", "ternary_gemm",
     "ternary_gemv",
-    "C2MConfig", "C2MModel", "GEMMShape",
+    "C2MConfig", "C2MModel", "GEMMShape", "measured_cost",
+    "BankPool", "ExecutionReport", "ModelRegistry", "PoolExhausted",
+    "Response", "Server",
     "__version__",
 ]

@@ -10,8 +10,12 @@ module is the session-oriented front door:
 * :class:`EngineConfig` collects the knobs previously scattered across
   kernel signatures (``n_bits``, ``fault_model``, ``fr_checks``,
   ``backend``, ``n_banks``) into one validated dataclass.
-* :class:`Device` owns engine/cluster resources and hands out plans; it
-  is a context manager, and closing it releases every plan.
+* :class:`Device` is a *view over a bank pool*
+  (:class:`repro.serve.pool.BankPool`): every engine or cluster a plan
+  builds leases its banks from the pool, so many devices and plans
+  coexist under one accounted budget.  A standalone ``Device()`` gets a
+  private unaccounted pool and behaves exactly as before; the serving
+  runtime (:mod:`repro.serve`) shares one bounded pool across tenants.
 * :class:`GemvPlan` / :class:`GemmPlan` plant one Z, size digits from a
   declared input budget (with an automatic re-plan guard when a query
   exceeds it), cache compiled μPrograms across queries, and reset
@@ -20,6 +24,12 @@ module is the session-oriented front door:
   bank shards so repeated traffic amortizes both planting and command
   broadcasts (the recorded speedup lives in
   ``benchmarks/results/plan_amortization.txt``).
+* ``plan.park()`` / ``plan.unpark()`` relocate a plan off its banks:
+  parking exports the counter image (``export_counters``), drops the
+  engines and returns the bank leases; unparking (done transparently on
+  the next query) rebuilds the engines, re-plants masks and
+  ``import_counters()`` the image back.  This is the eviction primitive
+  the :class:`repro.serve.ModelRegistry` plan cache is built on.
 
 >>> import numpy as np
 >>> from repro.device import Device
@@ -39,8 +49,9 @@ array([[ 1, -2],
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -48,9 +59,11 @@ from repro.dram.faults import FAULT_FREE, FaultModel
 from repro.engine.cluster import BankCluster
 from repro.engine.machine import CountingEngine
 from repro.kernels.lowering import (DEFAULT_BANKS, digits_for_budget,
-                                    ternary_row_masks)
+                                    infer_kind, ternary_row_masks)
+from repro.serve.pool import BankLease, BankPool, PoolExhausted
 
-__all__ = ["EngineConfig", "Device", "GemvPlan", "GemmPlan", "PlanStats"]
+__all__ = ["EngineConfig", "Device", "GemvPlan", "GemmPlan", "PlanStats",
+           "AmbiguousKindWarning", "DeviceClosedError", "PlanClosedError"]
 
 #: Query slots a single run_many() chunk spreads across bank shards.
 _MAX_BATCH_SLOTS = 32
@@ -61,6 +74,28 @@ _BATCH_BANKS = 4
 #: Total lane budget of a batched chunk's subarray (keeps row images
 #: cache-friendly; larger matrices get proportionally fewer slots).
 _MAX_BATCH_LANES = 1 << 18
+
+
+class DeviceClosedError(RuntimeError):
+    """Operation on a device after :meth:`Device.close`."""
+
+
+class PlanClosedError(RuntimeError):
+    """Query against a plan whose resources have been released.
+
+    Raised both when the plan itself was closed and when its owning
+    device was shut down -- the message says which.
+    """
+
+
+class AmbiguousKindWarning(UserWarning):
+    """Z had no ``-1`` entry, so binary-vs-ternary inference guessed.
+
+    An all-zero or all-{0, 1} matrix lowers correctly under either
+    kind, but the guess becomes observable the moment signed inputs
+    stream against the plan (binary plans reject them).  Pass ``kind=``
+    explicitly to silence the warning and pin the contract.
+    """
 
 
 @dataclass(frozen=True)
@@ -111,10 +146,13 @@ class PlanStats:
 
     ``measured_ops`` counts AAP/AP command sequences actually issued and
     is directly comparable with the analytical
-    :class:`repro.perf.C2MModel` op accounting; ``program_compiles`` /
-    ``program_replays`` split μProgram cache misses from hits, and
-    ``resident_rows`` is the number of planted mask-row images (binary:
-    one per Z row; ternary: both sign orientations per row).
+    :class:`repro.perf.C2MModel` op accounting (the serving telemetry
+    prices latency/energy from exactly this number);
+    ``program_compiles`` / ``program_replays`` split μProgram cache
+    misses from hits, ``resident_rows`` is the number of planted
+    mask-row images (binary: one per Z row; ternary: both sign
+    orientations per row), and ``parks`` / ``unparks`` count eviction
+    round-trips through the counter-image relocation path.
     """
 
     queries: int = 0
@@ -124,6 +162,8 @@ class PlanStats:
     measured_ops: int = 0
     program_compiles: int = 0
     program_replays: int = 0
+    parks: int = 0
+    unparks: int = 0
 
 
 class GemvPlan:
@@ -140,6 +180,13 @@ class GemvPlan:
     bound is known).  Digits are sized once from it; a query exceeding
     the declared budget triggers an automatic re-plan to more digits
     (counted in ``stats.replans``) instead of a counter overflow.
+
+    Every engine/cluster the plan builds leases its banks from the
+    owning device's :class:`~repro.serve.pool.BankPool`; when the pool
+    is bounded and exhausted, resource builds raise
+    :class:`~repro.serve.pool.PoolExhausted` without disturbing the
+    plan, so a caller (the serving registry) can evict another resident
+    plan and retry.
     """
 
     def __init__(self, device: "Device", z: np.ndarray, kind: str,
@@ -183,10 +230,15 @@ class GemvPlan:
         self._cluster: Optional[BankCluster] = None
         self._batch: Optional[tuple] = None      # (slots, banks, cluster)
         self._engines: List[CountingEngine] = []
+        self._leases: Dict[str, BankLease] = {}
+        self._parked: Optional[dict] = None
         self._closed = False
+        self._close_reason = "plan is closed"
         self._queries = 0
         self._broadcasts = 0
         self._replans = 0
+        self._parks = 0
+        self._unparks = 0
         self._retired = np.zeros(3, dtype=np.int64)  # ops/compiles/replays
         # Engines/clusters are built lazily on first use: a plan that
         # only ever sees run_many() never allocates the single-query
@@ -205,11 +257,188 @@ class GemvPlan:
 
     def _retire(self, engines: Sequence[CountingEngine]) -> None:
         for eng in engines:
-            self._retired += (eng.measured_ops, eng.prog_compiles,
-                              eng.prog_replays)
+            self._retired += eng.counters
+
+    def _release_lease(self, role: str) -> None:
+        lease = self._leases.pop(role, None)
+        if lease is not None:
+            lease.release()
+
+    def _exchange(self, role: str, n_banks: int) -> None:
+        """Atomically resize ``role``'s lease to ``n_banks``.
+
+        Goes through :meth:`BankPool.exchange`, so a re-plan is charged
+        only the *difference* against the budget -- a concurrent tenant
+        can never steal banks the plan already held, and on
+        :class:`~repro.serve.pool.PoolExhausted` the old lease (and the
+        resources it covers) survive untouched.
+
+        Before giving up, the plan yields its *other* role's idle
+        resources (a plan that just ran a batch wave should not starve
+        its own single-query path under a tight budget); only then does
+        the exhaustion propagate for the registry to evict a tenant.
+        """
+        pool = self._device.pool
+        try:
+            self._leases[role] = pool.exchange(self._leases.get(role),
+                                               n_banks, owner=self)
+        except PoolExhausted:
+            other = "batch" if role == "single" else "single"
+            if self._leases.get(other) is None:
+                raise
+            if other == "batch":
+                self._drop_batch()
+            else:
+                self._drop_single()
+            self._leases[role] = pool.exchange(self._leases.get(role),
+                                               n_banks, owner=self)
+
+    def _retire_single(self) -> None:
+        self._retire(([self._cluster.engine] if self._cluster else [])
+                     + self._engines)
+        self._cluster = None
+        self._engines = []
+
+    def _retire_batch(self) -> None:
+        if self._batch is not None:
+            self._retire([self._batch[2].engine])
+        self._batch = None
+
+    def _drop_single(self) -> None:
+        self._retire_single()
+        self._release_lease("single")
+
+    def _drop_batch(self) -> None:
+        self._retire_batch()
+        self._release_lease("batch")
+
+    @property
+    def is_resident(self) -> bool:
+        """Whether the plan currently holds engines (and bank leases)."""
+        return (self._cluster is not None or self._batch is not None
+                or bool(self._engines))
+
+    @property
+    def is_parked(self) -> bool:
+        """Whether the plan holds a parked counter image (evicted)."""
+        return self._parked is not None
+
+    @property
+    def leased_banks(self) -> int:
+        """Banks currently leased from the device's pool."""
+        return sum(lease.n_banks for lease in self._leases.values())
+
+    @property
+    def wave_banks(self) -> int:
+        """Banks a ``run_many()`` wave's command stream spreads over.
+
+        The batch shard when one is built (the word backend's wave
+        path), else the single-query resources -- *not* the sum of all
+        leases, so telemetry priced from this matches the stream that
+        actually ran even when a plan holds both roles.
+        """
+        if self._batch is not None:
+            return self._batch[0] * self._batch[1]
+        if self._cluster is not None:
+            return self._cluster.n_banks
+        return max(1, len(self._engines))
+
+    def park(self) -> None:
+        """Evict the plan from its banks, preserving counter state.
+
+        Exports every live engine's counter image
+        (:meth:`~repro.engine.CountingEngine.export_counters`), retires
+        their cost counters, drops the engines and returns all bank
+        leases to the pool.  The host-side operand spec (planted mask
+        images, digit sizing, budgets) stays; the next query -- or an
+        explicit :meth:`unpark` -- rebuilds the engines, re-plants the
+        masks and ``import_counters()`` the image back, bit-exactly.
+        Parking an already-parked or resource-less plan is a no-op.
+        """
+        self._check_open()
+        if self._parked is not None or not self.is_resident:
+            return
+        parked = {}
+        if self._cluster is not None:
+            parked["cluster"] = (self._cluster.n_banks,
+                                 self._cluster.engine.n_digits,
+                                 self._cluster.export_counters())
+        if self._engines:
+            parked["engines"] = (self._engines[0].n_digits,
+                                 [e.export_counters()
+                                  for e in self._engines])
+        if self._batch is not None:
+            slots, banks, cluster = self._batch
+            parked["batch"] = (slots, banks, cluster.engine.n_digits,
+                               cluster.export_counters())
+        self._drop_single()
+        self._drop_batch()
+        self._parked = parked
+        self._parks += 1
+
+    def unpark(self) -> None:
+        """Rebuild parked engines and restore their counter images.
+
+        Usually implicit (any query on a parked plan unparks first),
+        but callable directly to pre-warm a plan.  Every role's lease
+        is acquired *before* anything is rebuilt: a
+        :class:`~repro.serve.pool.PoolExhausted` mid-way rolls the
+        leases back and leaves the plan parked with every counter
+        image intact -- unparking is all-or-nothing, never a partial
+        restore that silently discards one role's image.
+        """
+        self._check_open()
+        if self._parked is None:
+            return
+        parked = self._parked
+        cfg = self.config
+        pool = self._device.pool
+        needed = []
+        if "cluster" in parked:
+            needed.append(("single", parked["cluster"][0]))
+        if "engines" in parked:
+            needed.append(("single", len(parked["engines"][1])))
+        if "batch" in parked:
+            slots, banks = parked["batch"][0], parked["batch"][1]
+            needed.append(("batch", slots * banks))
+        granted = []
+        try:
+            for role, n_banks in needed:
+                self._leases[role] = pool.lease(n_banks, owner=self)
+                granted.append(role)
+        except PoolExhausted:
+            for role in granted:
+                self._release_lease(role)
+            raise
+        if "cluster" in parked:
+            n_banks, n_digits, image = parked["cluster"]
+            self._cluster = BankCluster(
+                cfg.n_bits, n_digits, self._width, n_banks=n_banks,
+                fault_model=cfg.fault_model, fr_checks=cfg.fr_checks)
+            self._cluster.import_counters(image)
+        if "engines" in parked:
+            n_digits, images = parked["engines"]
+            self._engines = [
+                CountingEngine(cfg.n_bits, n_digits, self.n,
+                               fault_model=cfg.fault_model,
+                               fr_checks=cfg.fr_checks, backend="bit")
+                for _ in images]
+            for eng, image in zip(self._engines, images):
+                eng.import_counters(image)
+        if "batch" in parked:
+            slots, banks, n_digits, image = parked["batch"]
+            cluster = BankCluster(
+                cfg.n_bits, n_digits, self._width, n_banks=slots * banks,
+                fault_model=cfg.fault_model, fr_checks=cfg.fr_checks)
+            cluster.import_counters(image)
+            self._batch = (slots, banks, cluster)
+        self._parked = None
+        self._unparks += 1
 
     def _ensure(self, n_digits: int) -> None:
         """(Re)build single-query resources for at least ``n_digits``."""
+        if self._parked is not None:
+            self.unpark()
         if self.n_digits is not None and n_digits <= self.n_digits \
                 and (self._cluster is not None or self._engines):
             return
@@ -218,15 +447,18 @@ class GemvPlan:
             self._replans += 1
         self.n_digits = max(n_digits, self.n_digits or 1)
         cfg = self.config
+        pool = self._device.pool
         if cfg.resolved_backend == "word":
-            self._retire([self._cluster.engine] if self._cluster else [])
+            banks = pool.clamp(max(1, min(cfg.n_banks, self.k)))
+            self._exchange("single", banks)     # atomic: fails untouched
+            self._retire_single()
             self._cluster = BankCluster(
-                cfg.n_bits, self.n_digits, self._width,
-                n_banks=max(1, min(cfg.n_banks, self.k)),
+                cfg.n_bits, self.n_digits, self._width, n_banks=banks,
                 fault_model=cfg.fault_model, fr_checks=cfg.fr_checks)
         else:
-            self._retire(self._engines)
             count = 2 if self.kind == "ternary" else 1
+            self._exchange("single", count)
+            self._retire_single()
             self._engines = [
                 CountingEngine(cfg.n_bits, self.n_digits, self.n,
                                fault_model=cfg.fault_model,
@@ -235,43 +467,63 @@ class GemvPlan:
             for eng in self._engines:
                 eng.reset_counters()
 
-    def _ensure_batch(self, slots: int, n_digits: int) -> BankCluster:
+    def _ensure_batch(self, slots: int, banks: int,
+                      n_digits: int) -> BankCluster:
         """(Re)build the batched chunk cluster (word backend only)."""
+        if self._parked is not None:
+            self.unpark()
         if self._batch is not None:
-            b_slots, _, cluster = self._batch
-            if b_slots >= slots and cluster.engine.n_digits >= n_digits:
+            b_slots, b_banks, cluster = self._batch
+            if b_slots >= slots and b_banks == banks \
+                    and cluster.engine.n_digits >= n_digits:
                 return cluster
-            self._retire([cluster.engine])
             self._replans += 1
         cfg = self.config
+        self._exchange("batch", slots * banks)  # atomic: fails untouched
+        self._retire_batch()
         cluster = BankCluster(
-            cfg.n_bits, n_digits, self._width,
-            n_banks=slots * _BATCH_BANKS,
+            cfg.n_bits, n_digits, self._width, n_banks=slots * banks,
             fault_model=cfg.fault_model, fr_checks=cfg.fr_checks)
-        self._batch = (slots, _BATCH_BANKS, cluster)
+        self._batch = (slots, banks, cluster)
         return cluster
 
     def close(self) -> None:
-        """Release engines, clusters and mask images; further queries
-        raise.  The owning device forgets the plan so long-lived shared
-        devices do not pin closed plans' memory."""
+        """Release engines, clusters, bank leases and mask images;
+        further queries raise :class:`PlanClosedError`.  Idempotent.
+        The owning device forgets the plan so long-lived shared devices
+        do not pin closed plans' memory."""
+        self._close("plan is closed")
+
+    def _close(self, reason: str) -> None:
         if self._closed:
             return
-        self._retire(self._live_engines())
-        self._cluster = None
-        self._batch = None
-        self._engines = []
+        self._drop_single()
+        self._drop_batch()
+        self._parked = None
         self._masks = self._flat_masks = self._planted_nonzero = None
         self._closed = True
+        self._close_reason = reason
         self._device._forget(self)
 
     def _check_open(self) -> None:
         if self._closed:
-            raise RuntimeError("plan is closed (device shut down?)")
+            raise PlanClosedError(self._close_reason)
 
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
+    def validate_query(self, x: np.ndarray) -> np.ndarray:
+        """Shape/domain-check one query without executing it.
+
+        Returns the canonicalized (int64) query vector.  The serving
+        front door calls this at *submission* time so an invalid query
+        is rejected immediately instead of failing the coalesced wave
+        it would have ridden in -- alongside innocent co-batched
+        queries.
+        """
+        self._check_open()
+        return self._validate(x)
+
     def _validate(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x, dtype=np.int64)
         if x.ndim != 1 or x.size != self.k:
@@ -347,7 +599,8 @@ class GemvPlan:
         from *different* queries share one broadcast wave, and a single
         read-out retires the whole chunk.  The bit backend streams
         queries one by one (it exists for bit-exact reference, not
-        throughput).
+        throughput).  A bounded pool caps both the slot count and the
+        banks per slot so a chunk never overruns the shared budget.
         """
         self._check_open()
         xs = np.asarray(xs, dtype=np.int64)
@@ -358,22 +611,30 @@ class GemvPlan:
         if self.config.resolved_backend != "word":
             return np.stack([self(x) for x in xs])
         out = np.zeros((xs.shape[0], self.n), dtype=np.int64)
-        slots = max(1, min(_MAX_BATCH_SLOTS, xs.shape[0],
-                           _MAX_BATCH_LANES
-                           // max(1, _BATCH_BANKS * self._width)))
+        pool = self._device.pool
+        banks = pool.clamp(_BATCH_BANKS)
+        slot_cap = _MAX_BATCH_LANES // max(1, banks * self._width)
+        if pool.bounded:
+            slot_cap = min(slot_cap, pool.n_banks // banks)
+        slots = max(1, min(_MAX_BATCH_SLOTS, xs.shape[0], slot_cap))
         for start in range(0, xs.shape[0], slots):
             chunk = xs[start:start + slots]
-            out[start:start + slots] = self._run_chunk(chunk, slots)
+            out[start:start + slots] = self._run_chunk(chunk, slots, banks)
+        # Queries count once per completed call, after every chunk ran:
+        # a PoolExhausted mid-stream (caught by the registry, which
+        # evicts and re-invokes the whole call) never double-counts.
+        self._queries += xs.shape[0]
         return out
 
-    def _run_chunk(self, chunk: np.ndarray, slots: int) -> np.ndarray:
+    def _run_chunk(self, chunk: np.ndarray, slots: int,
+                   banks: int) -> np.ndarray:
         """One batched chunk: same-magnitude waves across bank groups.
 
-        Every query slot owns ``_BATCH_BANKS`` banks; an update of
-        magnitude ``m`` from slot ``q`` is dealt round-robin into that
-        group, and one broadcast ``accumulate(m)`` retires a whole wave
-        of masks across all slots.  Because each slot's same-magnitude
-        updates split over its banks, the worst-case *lane* only sees
+        Every query slot owns ``banks`` banks; an update of magnitude
+        ``m`` from slot ``q`` is dealt round-robin into that group, and
+        one broadcast ``accumulate(m)`` retires a whole wave of masks
+        across all slots.  Because each slot's same-magnitude updates
+        split over its banks, the worst-case *lane* only sees
         ``depth(m) = max_slot ceil(count / banks)`` hits per magnitude
         -- the exact bound the digit sizing below uses.
         """
@@ -381,7 +642,6 @@ class GemvPlan:
         if self.kind == "binary" and (chunk < 0).any():
             raise ValueError("binary plans expect non-negative inputs; "
                              "use a ternary plan for signed streams")
-        self._queries += n_queries
         # Update table: (slot, planted-row, magnitude), zero rows and
         # all-zero planted masks skipped.
         q_idx, k_idx = np.nonzero(chunk)
@@ -396,7 +656,6 @@ class GemvPlan:
         # Deal updates: sort by (magnitude, slot, row) so each (m, q)
         # queue is deterministic, then position p in the queue lands in
         # bank p % banks of wave p // banks.
-        banks = _BATCH_BANKS
         order = np.lexsort((rows, q_idx, mags))
         q_s, r_s, m_s = q_idx[order], rows[order], mags[order]
         upd = np.arange(m_s.size)
@@ -419,10 +678,10 @@ class GemvPlan:
         # cluster down mid-stream.
         bound = int((m_s[new_mag] * depth).sum())
         cluster = self._ensure_batch(
-            slots, max(digits_for_budget(self.config.n_bits, bound),
-                       self.n_digits or 1))
+            slots, banks, max(digits_for_budget(self.config.n_bits, bound),
+                              self.n_digits or 1))
         cluster.reset()
-        slots = self._batch[0]       # cached cluster may be wider
+        slots, banks = self._batch[0], self._batch[1]  # cached may differ
         eng = cluster.engine
         width = self._width
         # Scatter planted masks into wave images (blockwise, so huge
@@ -464,7 +723,9 @@ class GemvPlan:
                          resident_rows=resident,
                          measured_ops=int(ops[0]),
                          program_compiles=int(ops[1]),
-                         program_replays=int(ops[2]))
+                         program_replays=int(ops[2]),
+                         parks=self._parks,
+                         unparks=self._unparks)
 
 
 class GemmPlan:
@@ -477,7 +738,9 @@ class GemmPlan:
 
     def __init__(self, device: "Device", z: np.ndarray, kind: str,
                  x_budget: Optional[int] = None):
+        self._device = device
         self._gemv = GemvPlan(device, z, kind, x_budget=x_budget)
+        self._closed = False
 
     @property
     def kind(self) -> str:
@@ -487,6 +750,28 @@ class GemmPlan:
     def stats(self) -> PlanStats:
         return self._gemv.stats
 
+    @property
+    def is_resident(self) -> bool:
+        return self._gemv.is_resident
+
+    @property
+    def is_parked(self) -> bool:
+        return self._gemv.is_parked
+
+    @property
+    def leased_banks(self) -> int:
+        return self._gemv.leased_banks
+
+    @property
+    def wave_banks(self) -> int:
+        return self._gemv.wave_banks
+
+    def park(self) -> None:
+        self._gemv.park()
+
+    def unpark(self) -> None:
+        self._gemv.unpark()
+
     def __call__(self, xs: np.ndarray) -> np.ndarray:
         return self._gemv.run_many(xs)
 
@@ -494,24 +779,29 @@ class GemmPlan:
         return self._gemv.run_many(xs)
 
     def close(self) -> None:
-        self._gemv.close()
+        self._close("plan is closed")
 
-
-def _infer_kind(z: np.ndarray) -> str:
-    """Binary when all entries are 0/1, ternary when -1 appears."""
-    z = np.asarray(z)
-    if np.isin(z, (0, 1)).all():
-        return "binary"
-    return "ternary"
+    def _close(self, reason: str) -> None:
+        if self._closed:
+            return
+        self._gemv._close(reason)
+        self._closed = True
+        self._device._forget(self)
 
 
 class Device:
-    """Owner of engine/cluster resources behind weight-stationary plans.
+    """A view over a bank pool that hands out weight-stationary plans.
 
     Construct from an :class:`EngineConfig` (or keyword overrides), use
     as a context manager, and create plans with :meth:`plan_gemv` /
     :meth:`plan_gemm`.  Closing the device closes every plan it handed
-    out.
+    out; both device and plan close are idempotent.
+
+    ``pool`` is the bank budget the device's plans lease engine banks
+    from.  By default every device gets its own *unaccounted*
+    :class:`~repro.serve.pool.BankPool` (standalone sessions never hit a
+    budget); pass a shared bounded pool to make several devices -- or a
+    whole serving runtime -- coexist under one accounted bank budget.
 
     >>> import numpy as np
     >>> dev = Device(backend="fast", n_bits=2)
@@ -519,19 +809,23 @@ class Device:
     >>> plan(np.array([4, 0, 9]))
     array([4, 0, 9])
     >>> dev.close()
-    >>> plan(np.array([1, 1, 1]))
+    >>> dev.close()                              # idempotent
+    >>> plan(np.array([1, 1, 1]))    # doctest: +IGNORE_EXCEPTION_DETAIL
     Traceback (most recent call last):
         ...
-    RuntimeError: plan is closed (device shut down?)
+    repro.device.PlanClosedError: plan is closed (device shut down)
     """
 
-    def __init__(self, config: Optional[EngineConfig] = None, **overrides):
+    def __init__(self, config: Optional[EngineConfig] = None,
+                 pool: Optional[BankPool] = None, **overrides):
         if config is None:
             config = EngineConfig(**overrides)
         elif overrides:
             config = replace(config, **overrides)
         self.config = config
-        self._plans: List = []
+        self.pool = pool if pool is not None else BankPool()
+        self._plans: Dict[int, object] = {}
+        self._next_handle = 0
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -539,33 +833,61 @@ class Device:
                   x_budget: Optional[int] = None) -> GemvPlan:
         """Plant ``z`` for streamed GEMV queries (``y = x @ z``)."""
         self._check_open()
-        plan = GemvPlan(self, z, kind or _infer_kind(z), x_budget=x_budget)
-        self._plans.append(plan)
-        return plan
+        plan = GemvPlan(self, z, self._resolve_kind(z, kind),
+                        x_budget=x_budget)
+        return self._adopt(plan)
 
     def plan_gemm(self, z: np.ndarray, kind: Optional[str] = None,
                   x_budget: Optional[int] = None) -> GemmPlan:
         """Plant ``z`` for streamed GEMM queries (``Y = X @ z``)."""
         self._check_open()
-        plan = GemmPlan(self, z, kind or _infer_kind(z), x_budget=x_budget)
-        self._plans.append(plan)
-        return plan
+        plan = GemmPlan(self, z, self._resolve_kind(z, kind),
+                        x_budget=x_budget)
+        return self._adopt(plan)
 
     # ------------------------------------------------------------------
+    def _resolve_kind(self, z: np.ndarray, kind: Optional[str]) -> str:
+        """Explicit ``kind`` wins; inference warns when ambiguous."""
+        if kind is not None:
+            return kind
+        inferred, ambiguous = infer_kind(z)
+        if ambiguous:
+            warnings.warn(
+                f"Z has no -1 entries, so kind={inferred!r} was guessed; "
+                f"a binary plan rejects the signed inputs a ternary plan "
+                f"accepts -- pass kind= explicitly to pin the contract",
+                AmbiguousKindWarning, stacklevel=3)
+        return inferred
+
+    def _adopt(self, plan):
+        """Register a plan under a fresh handle (plan bookkeeping)."""
+        handle = self._next_handle
+        self._next_handle += 1
+        plan._handle = handle
+        self._plans[handle] = plan
+        return plan
+
     def _check_open(self) -> None:
         if self._closed:
-            raise RuntimeError("device is closed")
+            raise DeviceClosedError("device is closed")
 
     def _forget(self, plan) -> None:
-        """Drop a closed plan from the registry (called by plan.close)."""
-        self._plans = [p for p in self._plans
-                       if p is not plan and getattr(p, "_gemv", None)
-                       is not plan]
+        """Drop a closed plan from the registry (called by plan close)."""
+        handle = getattr(plan, "_handle", None)
+        if handle is not None:
+            self._plans.pop(handle, None)
+
+    @property
+    def plans(self) -> List:
+        """The open plans this device handed out (adoption order)."""
+        return [self._plans[h] for h in sorted(self._plans)]
 
     def close(self) -> None:
-        """Release every plan's engines and clusters."""
-        for plan in list(self._plans):
-            plan.close()
+        """Release every plan's engines, clusters and leases (idempotent)."""
+        if self._closed:
+            return
+        for plan in list(self._plans.values()):
+            plan._close("plan is closed (device shut down)")
         self._closed = True
 
     def __enter__(self) -> "Device":

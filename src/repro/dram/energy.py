@@ -51,9 +51,19 @@ class EnergyModel:
         """Energy of one AP (one multi-row ACT + PRE)."""
         return self.e_act_nj + self.e_pre_nj
 
+    def dynamic_energy_j(self, n_aaps: int) -> float:
+        """Dynamic energy of ``n_aaps`` AAPs alone (no background).
+
+        The command-proportional part of :meth:`energy_for_aaps_j`,
+        split out so callers pricing a *shared* command stream (a
+        coalesced serving wave) can separate the per-op cost from the
+        makespan-proportional background power.
+        """
+        return n_aaps * self.e_aap_nj * 1e-9
+
     def energy_for_aaps_j(self, n_aaps: int, elapsed_s: float = 0.0) -> float:
         """Total energy: dynamic AAP energy plus background for the run."""
-        return n_aaps * self.e_aap_nj * 1e-9 + self.background_w * elapsed_s
+        return self.dynamic_energy_j(n_aaps) + self.background_w * elapsed_s
 
     def average_power_w(self, n_aaps: int, elapsed_s: float) -> float:
         """Average power while issuing ``n_aaps`` over ``elapsed_s``."""

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 __all__ = ["TimingParams", "DDR5_4400_TIMING", "aap_period_ns",
-           "time_for_aaps_ns"]
+           "aap_rate_per_s", "time_for_aaps_ns"]
 
 
 @dataclass(frozen=True)
@@ -97,6 +97,12 @@ def time_for_aaps_ns(n_aaps: int, n_banks: int,
     ``include_refresh`` stretches the makespan by the tRFC/tREFI duty
     cycle (~5 % on DDR5) -- counters are ordinary cells and still need
     refreshing while they compute.
+
+    This is also the latency half of the serving telemetry: an executed
+    wave's *measured* op count (``CountingEngine.measured_ops``, retries
+    included) goes straight through here, so every
+    :class:`repro.serve.ExecutionReport` models the command stream that
+    actually ran, not a nominal count.
     """
     if n_aaps <= 0:
         return 0.0

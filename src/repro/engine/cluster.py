@@ -132,6 +132,23 @@ class BankCluster:
         """
         self.engine.reset_counters()
 
+    # ------------------------------------------------------------------
+    # counter-row relocation (plan eviction / GEMM row reuse)
+    # ------------------------------------------------------------------
+    def export_counters(self) -> np.ndarray:
+        """Copy the cluster's counter rows out (all banks, one image).
+
+        The bank shards live side by side in one wide subarray, so the
+        whole cluster parks as a single row image -- the serving layer
+        evicts a resident plan by exporting this image and dropping the
+        cluster, and restores it with :meth:`import_counters`.
+        """
+        return self.engine.export_counters()
+
+    def import_counters(self, image: np.ndarray) -> None:
+        """Restore a previously exported cluster counter image."""
+        self.engine.import_counters(image)
+
     @property
     def measured_ops(self) -> int:
         """AAP+AP sequences issued by the shared broadcast stream."""

@@ -16,7 +16,7 @@ Large-shape performance questions go through :mod:`repro.perf` instead.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import NamedTuple, Optional, Sequence
 
 import numpy as np
 
@@ -35,7 +35,21 @@ from repro.isa.templates import (kary_increment_program, masked_update_ops,
                                  underflow_check_ops)
 from repro.isa.microprogram import MicroProgram, aap
 
-__all__ = ["CountingEngine"]
+__all__ = ["CountingEngine", "EngineCounters"]
+
+
+class EngineCounters(NamedTuple):
+    """Cost counters one engine has accrued (snapshot, monotonic).
+
+    ``measured_ops`` is the ground truth the serving telemetry models
+    latency/energy from: AAP/AP command sequences the subarray actually
+    executed, retries included -- as opposed to the analytical op counts
+    of :mod:`repro.perf` which never see the executed path.
+    """
+
+    measured_ops: int
+    prog_compiles: int
+    prog_replays: int
 
 
 class CountingEngine:
@@ -365,34 +379,54 @@ class CountingEngine:
     # ------------------------------------------------------------------
     # counter-row relocation (Sec. 5.2.2's GEMM row reuse)
     # ------------------------------------------------------------------
+    def counter_image_rows(self) -> list:
+        """Subarray rows of the counter image, digit-major.
+
+        The single source of truth for what :meth:`export_counters`
+        captures and :meth:`import_counters` restores: every digit's bit
+        rows followed by its ``O_next`` row.  Mask rows are deliberately
+        excluded -- relocating counters never copies the much larger Z.
+        """
+        rows = []
+        for d in range(self.n_digits):
+            rows.extend(self.layout.digit_bit_rows[d])
+            rows.append(self.layout.onext_rows[d])
+        return rows
+
+    @property
+    def counter_image_shape(self) -> tuple:
+        """Shape of the row image export/import round-trips."""
+        return (self.n_digits * (self.n_bits + 1), self.n_lanes)
+
     def export_counters(self) -> np.ndarray:
         """Copy all counter rows out (RowClone to another subarray).
 
         Returns the raw row image ``[rows_per_counter, n_lanes]`` -- the
         paper moves each finished output row of Y elsewhere and reuses
         the counter rows for the next row of the result, avoiding any
-        copy of the much larger mask matrix Z.
+        copy of the much larger mask matrix Z.  The serving layer's plan
+        eviction rests on the same primitive: a parked plan is exactly
+        its counter image plus its host-side operand spec.
         """
         if not self._flushed:
             self.flush()
-        rows = []
-        for d in range(self.n_digits):
-            rows.extend(self.layout.digit_bit_rows[d])
-            rows.append(self.layout.onext_rows[d])
-        return self.subarray.read_rows(rows)
+        return self.subarray.read_rows(self.counter_image_rows())
 
     def import_counters(self, image: np.ndarray) -> None:
         """Restore a previously exported counter image."""
         image = np.asarray(image, dtype=np.uint8)
-        rows = []
-        for d in range(self.n_digits):
-            rows.extend(self.layout.digit_bit_rows[d])
-            rows.append(self.layout.onext_rows[d])
+        rows = self.counter_image_rows()
         if image.shape != (len(rows), self.n_lanes):
             raise ValueError("counter image shape mismatch")
         for row, bits in zip(rows, image):
             self.subarray.write_data_row(row, bits)
         self._flushed = True
+
+    @property
+    def counters(self) -> EngineCounters:
+        """Snapshot of this engine's accrued cost counters."""
+        return EngineCounters(self.measured_ops, self.prog_compiles,
+                              self.prog_replays)
 
     @property
     def measured_ops(self) -> int:

@@ -25,6 +25,22 @@ class ExperimentResult:
     rows: List[dict] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form (the runner's ``--json`` output).
+
+        Numpy scalars in row values are folded to native Python so the
+        result dumps without a custom encoder.
+        """
+        def _native(value):
+            return value.item() if hasattr(value, "item") else value
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "rows": [{k: _native(v) for k, v in row.items()}
+                     for row in self.rows],
+            "notes": list(self.notes),
+        }
+
     def render(self) -> str:
         """Plain-text table in row order, plus notes."""
         lines = [f"== {self.experiment_id}: {self.title} =="]

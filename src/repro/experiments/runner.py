@@ -5,11 +5,13 @@ Usage::
     python -m repro.experiments.runner            # run everything (quick)
     python -m repro.experiments.runner fig16      # one experiment
     python -m repro.experiments.runner --full     # full-fidelity sweep
+    python -m repro.experiments.runner fig16 --json   # machine-readable
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -27,6 +29,9 @@ def main(argv=None) -> int:
                         help="list available experiments")
     parser.add_argument("--chart", action="store_true",
                         help="render an ASCII chart where one applies")
+    parser.add_argument("--json", action="store_true",
+                        help="emit one JSON document instead of tables "
+                             "(for CI smoke jobs and tooling)")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -35,15 +40,25 @@ def main(argv=None) -> int:
         return 0
 
     names = args.experiments or experiment_names()
+    documents = []
     for name in names:
         start = time.time()
         result = run_experiment(name, quick=not args.full)
+        elapsed = time.time() - start
+        if args.json:
+            doc = result.to_dict()
+            doc["name"] = name
+            doc["seconds"] = round(elapsed, 3)
+            documents.append(doc)
+            continue
         print(result.render())
         if args.chart:
             chart = _chart_for(name, result)
             if chart:
                 print(chart)
-        print(f"-- {name} regenerated in {time.time() - start:.1f}s --\n")
+        print(f"-- {name} regenerated in {elapsed:.1f}s --\n")
+    if args.json:
+        print(json.dumps({"experiments": documents}, indent=2))
     return 0
 
 

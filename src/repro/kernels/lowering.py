@@ -19,7 +19,8 @@ from repro.dram.faults import FAULT_FREE, FaultModel
 from repro.engine.cluster import BankCluster
 
 __all__ = ["DEFAULT_BANKS", "required_digits", "cluster_for",
-           "binary_updates", "ternary_updates", "ternary_row_masks"]
+           "binary_updates", "infer_kind", "ternary_updates",
+           "ternary_row_masks"]
 
 #: Bank shards a kernel-built cluster spreads its waves over.
 DEFAULT_BANKS = 8
@@ -81,6 +82,30 @@ def cluster_for(n_updates: int, n_bits: int, n_digits: int, lanes: int,
                        n_banks=max(1, min(n_banks, n_updates)),
                        fault_model=fault_model, fr_checks=fr_checks,
                        scheduler=scheduler)
+
+
+def infer_kind(z: np.ndarray) -> Tuple[str, bool]:
+    """Infer a plan kind from Z's entries: ``(kind, ambiguous)``.
+
+    A ``-1`` entry pins the matrix as ternary.  Without one, every
+    entry sits in {0, 1} and *both* kinds lower it correctly -- but the
+    choice is observable the moment a signed input streams against it
+    (binary plans reject negative inputs), so the inference is flagged
+    as ambiguous and the session layer warns unless the caller passed
+    ``kind=`` explicitly.  Entries outside {-1, 0, 1} resolve to
+    ``"ternary"`` so plan validation reports the range error.
+
+    >>> infer_kind(np.array([[1, -1]]))
+    ('ternary', False)
+    >>> infer_kind(np.array([[1, 0]]))          # no -1: could be either
+    ('binary', True)
+    >>> infer_kind(np.zeros((2, 2)))
+    ('binary', True)
+    """
+    z = np.asarray(z)
+    if np.isin(z, (0, 1)).all():
+        return "binary", True
+    return "ternary", False
 
 
 def binary_updates(x: np.ndarray, z: np.ndarray) -> List[Tuple[int, np.ndarray]]:

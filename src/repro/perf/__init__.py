@@ -1,8 +1,9 @@
 """Performance models: C2M / SIMDRAM / GPU cost reports over GEMM shapes."""
 
-from repro.perf.metrics import CostReport
+from repro.perf.metrics import CostReport, measured_cost
 from repro.perf.model import (C2MConfig, C2MModel, GEMMShape, gpu_cost,
                               simdram_cost, uniform_int8_magnitudes)
 
-__all__ = ["CostReport", "C2MConfig", "C2MModel", "GEMMShape", "gpu_cost",
-           "simdram_cost", "uniform_int8_magnitudes"]
+__all__ = ["CostReport", "measured_cost", "C2MConfig", "C2MModel",
+           "GEMMShape", "gpu_cost", "simdram_cost",
+           "uniform_int8_magnitudes"]

@@ -1,10 +1,27 @@
-"""Common cost-report container and derived metrics (Sec. 7 figures)."""
+"""Common cost-report container and derived metrics (Sec. 7 figures).
+
+Two report constructors coexist deliberately:
+
+* the analytical models (:class:`repro.perf.C2MModel`, the baselines)
+  build :class:`CostReport` from *predicted* op counts, and
+* :func:`measured_cost` builds one from the op count an engine
+  *actually issued* (``CountingEngine.measured_ops``, retries and
+  protection overhead included), threading it through the same
+  :func:`repro.dram.timing.time_for_aaps_ns` latency model and
+  :class:`repro.dram.energy.EnergyModel` -- so executed-path telemetry
+  and paper-scale projections are directly comparable numbers.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
-__all__ = ["CostReport"]
+from repro.dram.energy import DDR5_ENERGY, EnergyModel
+from repro.dram.timing import (DDR5_4400_TIMING, TimingParams,
+                               time_for_aaps_ns)
+
+__all__ = ["CostReport", "measured_cost"]
 
 
 @dataclass
@@ -53,3 +70,37 @@ class CostReport:
             "gops_per_watt": self.gops_per_watt / baseline.gops_per_watt,
             "gops_per_mm2": self.gops_per_mm2 / baseline.gops_per_mm2,
         }
+
+
+def measured_cost(measured_ops: int, n_banks: int,
+                  nominal_ops: float = 0.0, name: str = "measured",
+                  timing: TimingParams = DDR5_4400_TIMING,
+                  energy: Optional[EnergyModel] = None,
+                  include_refresh: bool = False) -> CostReport:
+    """Cost of an *executed* command stream of ``measured_ops`` AAPs.
+
+    ``measured_ops`` must come from the engines that ran the work
+    (:attr:`repro.engine.CountingEngine.measured_ops` deltas), so fault
+    retries and protection overhead are priced in -- the executed-path
+    counterpart of :meth:`repro.perf.C2MModel.cost`.  ``n_banks`` is the
+    bank-level parallelism the stream was actually spread over (the
+    plan's leased banks), which sets the AAP issue rate.
+
+    >>> r = measured_cost(1000, n_banks=8)
+    >>> round(r.latency_ms, 4)
+    0.0065
+    >>> r.aaps
+    1000.0
+    """
+    if measured_ops < 0:
+        raise ValueError("measured op count must be non-negative")
+    energy = energy or DDR5_ENERGY
+    time_s = time_for_aaps_ns(measured_ops, n_banks, timing,
+                              include_refresh=include_refresh) * 1e-9
+    return CostReport(
+        name=name,
+        nominal_ops=float(nominal_ops),
+        time_s=time_s,
+        energy_j=energy.energy_for_aaps_j(measured_ops, time_s),
+        area_mm2=energy.module_area_mm2(),
+        aaps=float(measured_ops))

@@ -1,0 +1,180 @@
+"""Process-wide bank/subarray budget shared by every device and plan.
+
+The paper's deployment picture (Sec. 5) is many weight-stationary
+matrices resident in one DRAM module: the banks are a *shared* physical
+budget, not a per-kernel resource.  :class:`BankPool` owns that budget.
+Devices are views over a pool, and every engine or cluster a plan builds
+first takes a :class:`BankLease` for the banks it occupies; releasing
+the resources returns the banks.  A finite pool makes over-subscription
+an explicit, catchable condition (:class:`PoolExhausted`) instead of
+unbounded simulator growth -- the serving registry reacts to it by
+evicting the least-recently-used resident plan and retrying.
+
+>>> pool = BankPool(8)
+>>> lease = pool.lease(6)
+>>> pool.banks_free
+2
+>>> pool.lease(4)                    # doctest: +IGNORE_EXCEPTION_DETAIL
+Traceback (most recent call last):
+    ...
+repro.serve.pool.PoolExhausted: lease of 4 banks exceeds the pool \
+budget (6/8 leased, 2 free)
+>>> lease.release()
+>>> pool.banks_free
+8
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+__all__ = ["BankPool", "BankLease", "PoolExhausted"]
+
+
+class PoolExhausted(RuntimeError):
+    """A lease request exceeds the pool's remaining bank budget.
+
+    Raised *before* any state changes: the pool and the requesting
+    plan are unchanged, so the caller may free capacity (e.g. evict a
+    resident plan) and simply retry.
+    """
+
+
+class BankLease:
+    """A granted slice of a pool's bank budget.
+
+    Leases are handles, not containers: the resources occupying the
+    banks (engines, clusters) are owned by the plan that took the
+    lease.  ``release()`` is idempotent.
+    """
+
+    __slots__ = ("pool", "n_banks", "owner", "_live")
+
+    def __init__(self, pool: "BankPool", n_banks: int, owner=None):
+        self.pool = pool
+        self.n_banks = n_banks
+        self.owner = owner
+        self._live = True
+
+    @property
+    def live(self) -> bool:
+        return self._live
+
+    def release(self) -> None:
+        """Return the banks to the pool (idempotent, thread-safe --
+        the live flag flips under the pool's lock, so a concurrent
+        double release can never decrement the accounting twice)."""
+        self.pool._release(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "live" if self._live else "released"
+        return f"BankLease({self.n_banks} banks, {state})"
+
+
+class BankPool:
+    """Accounted owner of the process-wide bank/subarray budget.
+
+    Parameters
+    ----------
+    n_banks:
+        Total banks available to lease.  ``None`` means unaccounted
+        (infinite) -- the default for standalone devices, which keeps
+        single-tenant sessions exactly as cheap as before.
+
+    The pool is thread-safe: the serving scheduler leases and releases
+    from its dispatch thread while callers construct plans elsewhere.
+    """
+
+    def __init__(self, n_banks: Optional[int] = None):
+        if n_banks is not None and n_banks < 1:
+            raise ValueError("pool budget must be positive (or None for "
+                             "an unaccounted pool)")
+        self.n_banks = n_banks
+        self._leased = 0
+        self._n_leases = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    @property
+    def bounded(self) -> bool:
+        """Whether the pool enforces a finite budget."""
+        return self.n_banks is not None
+
+    @property
+    def banks_leased(self) -> int:
+        return self._leased
+
+    @property
+    def banks_free(self) -> Optional[int]:
+        """Remaining budget (``None`` when the pool is unaccounted)."""
+        if self.n_banks is None:
+            return None
+        return self.n_banks - self._leased
+
+    @property
+    def n_live_leases(self) -> int:
+        return self._n_leases
+
+    def clamp(self, n_banks: int) -> int:
+        """Largest bank count <= ``n_banks`` the *total* budget allows.
+
+        Sizing helper for batch shards: a bounded pool can never grant
+        more than its total budget, so plans size their bank groups
+        against it up front (and rely on eviction, not shrinking, for
+        banks currently leased to other plans).
+        """
+        if self.n_banks is None:
+            return n_banks
+        return max(1, min(n_banks, self.n_banks))
+
+    # ------------------------------------------------------------------
+    def lease(self, n_banks: int, owner=None) -> BankLease:
+        """Take ``n_banks`` from the budget or raise :class:`PoolExhausted`."""
+        return self.exchange(None, n_banks, owner=owner)
+
+    def exchange(self, old: Optional[BankLease], n_banks: int,
+                 owner=None) -> BankLease:
+        """Atomically replace ``old`` (may be ``None``) with a new lease.
+
+        The capacity swap happens under one lock hold: a lessee
+        resizing its lease is charged only the *difference*, so a
+        concurrent tenant can never steal the banks it already held
+        between a release and a re-acquire (the failure mode of a
+        naive release-then-lease pair).  On :class:`PoolExhausted`,
+        ``old`` stays live and the pool is unchanged.
+        """
+        n_banks = int(n_banks)
+        if n_banks < 1:
+            raise ValueError("a lease must cover at least one bank")
+        if old is not None and old.pool is not self:
+            raise ValueError("cannot exchange a lease from another pool")
+        with self._lock:
+            held = old.n_banks if old is not None and old._live else 0
+            if self.n_banks is not None \
+                    and self._leased - held + n_banks > self.n_banks:
+                raise PoolExhausted(
+                    f"lease of {n_banks} banks exceeds the pool budget "
+                    f"({self._leased}/{self.n_banks} leased, "
+                    f"{self.n_banks - self._leased} free"
+                    + (f", {held} exchangeable" if held else "") + ")")
+            if held:
+                old._live = False
+                self._leased -= held
+                self._n_leases -= 1
+            self._leased += n_banks
+            self._n_leases += 1
+        return BankLease(self, n_banks, owner=owner)
+
+    def _release(self, lease: BankLease) -> None:
+        with self._lock:
+            if not lease._live:
+                return
+            lease._live = False
+            self._leased -= lease.n_banks
+            self._n_leases -= 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        total = "unbounded" if self.n_banks is None else str(self.n_banks)
+        return (f"BankPool(budget={total}, leased={self._leased}, "
+                f"leases={self._n_leases})")

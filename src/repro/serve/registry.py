@@ -1,0 +1,218 @@
+"""Plan cache keyed by model name, with counter-image eviction.
+
+The serving runtime keeps one weight-stationary plan per registered
+model.  Plans are cheap to *hold* (host-side mask images) but expensive
+to keep *resident* (engines occupy leased banks), so the registry treats
+residency as the cached resource: when a wave cannot lease banks
+(:class:`~repro.serve.pool.PoolExhausted`), the least-recently-used
+resident plan is **parked** -- its counter image leaves via
+``export_counters()``, its engines are dropped and its bank leases
+return to the pool -- and the wave retries.  A later query against a
+parked plan transparently re-plants its masks and
+``import_counters()`` the image back (see :meth:`GemvPlan.park` /
+:meth:`~repro.device.GemvPlan.unpark`).
+
+>>> import numpy as np
+>>> from repro.device import Device
+>>> from repro.serve.pool import BankPool
+>>> dev = Device(pool=BankPool(8))
+>>> reg = ModelRegistry(dev)
+>>> plan = reg.register("tiny", np.eye(2, dtype=np.uint8), kind="binary")
+>>> reg.run("tiny", lambda p: p(np.array([3, 5])))
+array([3, 5])
+>>> sorted(reg.names()), reg.stats.misses
+(['tiny'], 1)
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.device import Device
+from repro.serve.pool import PoolExhausted
+
+__all__ = ["ModelRegistry", "RegistryStats"]
+
+
+@dataclass(frozen=True)
+class RegistryStats:
+    """Cache behavior counters (snapshot).
+
+    ``hits`` are runs that found the plan resident, ``misses`` runs
+    that had to (re)build engines -- first touch or post-eviction --
+    and ``evictions`` counts plans parked to free bank budget.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+
+class _Entry:
+    __slots__ = ("name", "plan", "last_used")
+
+    def __init__(self, name: str, plan):
+        self.name = name
+        self.plan = plan
+        self.last_used = 0
+
+
+class ModelRegistry:
+    """Named plans over one shared device/pool, LRU-evicted by parking.
+
+    Parameters
+    ----------
+    device:
+        The shared :class:`~repro.device.Device` (typically a view over
+        a bounded :class:`~repro.serve.pool.BankPool`).
+    max_resident:
+        Optional cap on simultaneously resident (engine-holding) plans,
+        enforced after every run in addition to the pool's bank budget.
+    """
+
+    def __init__(self, device: Device,
+                 max_resident: Optional[int] = None):
+        if max_resident is not None and max_resident < 1:
+            raise ValueError("max_resident must be positive (or None)")
+        self.device = device
+        self.max_resident = max_resident
+        self._entries: Dict[str, _Entry] = {}
+        self._clock = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    def register(self, name: str, z: np.ndarray, kind: Optional[str] = None,
+                 x_budget: Optional[int] = None):
+        """Plant ``z`` under ``name`` and return the (lazy) plan.
+
+        Planting is host-side only; engines are built -- and banks
+        leased -- on first use.  Re-registering a live name raises;
+        :meth:`unregister` first to replace a model.
+        """
+        with self._lock:
+            if name in self._entries:
+                raise ValueError(f"model {name!r} is already registered")
+            plan = self.device.plan_gemv(z, kind=kind, x_budget=x_budget)
+            self._entries[name] = _Entry(name, plan)
+            return plan
+
+    def unregister(self, name: str) -> None:
+        """Close and drop one model's plan."""
+        with self._lock:
+            entry = self._entries.pop(name, None)
+        if entry is not None:
+            entry.plan.close()
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return list(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._entries
+
+    def get(self, name: str):
+        """The plan for ``name`` (touches LRU recency)."""
+        with self._lock:
+            entry = self._touch(name)
+            return entry.plan
+
+    # ------------------------------------------------------------------
+    def run(self, name: str, fn: Callable):
+        """Execute ``fn(plan)`` with evict-and-retry on bank pressure.
+
+        A :class:`~repro.serve.pool.PoolExhausted` from the plan's
+        resource build parks the least-recently-used *other* resident
+        plan and retries; when nothing is left to evict the error
+        propagates (the model genuinely does not fit the pool).
+
+        The registry lock covers only bookkeeping (touch, hit/miss,
+        eviction), never ``fn`` itself -- a wave takes milliseconds of
+        engine simulation and must not block concurrent ``get()``
+        lookups (e.g. submission validation).  Plan *execution* is
+        single-threaded by contract: only one dispatcher (the server's
+        scheduler thread) calls ``run``.
+        """
+        with self._lock:
+            entry = self._touch(name)
+            if entry.plan.is_resident:
+                self._hits += 1
+            else:
+                self._misses += 1
+        while True:
+            try:
+                result = fn(entry.plan)
+                break
+            except PoolExhausted:
+                with self._lock:
+                    if not self._evict_one(exclude=name):
+                        raise
+        with self._lock:
+            self._enforce_max_resident(exclude=name)
+        return result
+
+    def evict(self, name: Optional[str] = None) -> bool:
+        """Park one plan: ``name`` if given, else the LRU resident one."""
+        with self._lock:
+            if name is not None:
+                entry = self._entries[name]
+                if not entry.plan.is_resident:
+                    return False
+                entry.plan.park()
+                self._evictions += 1
+                return True
+            return self._evict_one(exclude=None)
+
+    @property
+    def stats(self) -> RegistryStats:
+        return RegistryStats(hits=self._hits, misses=self._misses,
+                             evictions=self._evictions)
+
+    @property
+    def resident_names(self) -> List[str]:
+        """Models currently holding engines (and bank leases)."""
+        with self._lock:
+            return [e.name for e in self._entries.values()
+                    if e.plan.is_resident]
+
+    def close(self) -> None:
+        """Close every registered plan (idempotent)."""
+        with self._lock:
+            entries = list(self._entries.values())
+            self._entries.clear()
+        for entry in entries:
+            entry.plan.close()
+
+    # ------------------------------------------------------------------
+    def _touch(self, name: str) -> _Entry:
+        if name not in self._entries:
+            raise KeyError(f"unknown model {name!r}; registered: "
+                           f"{sorted(self._entries)}")
+        entry = self._entries[name]
+        self._clock += 1
+        entry.last_used = self._clock
+        return entry
+
+    def _evict_one(self, exclude: Optional[str]) -> bool:
+        candidates = [e for e in self._entries.values()
+                      if e.name != exclude and e.plan.is_resident]
+        if not candidates:
+            return False
+        victim = min(candidates, key=lambda e: e.last_used)
+        victim.plan.park()
+        self._evictions += 1
+        return True
+
+    def _enforce_max_resident(self, exclude: Optional[str]) -> None:
+        if self.max_resident is None:
+            return
+        while len(self.resident_names) > self.max_resident:
+            if not self._evict_one(exclude):
+                break

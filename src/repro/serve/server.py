@@ -1,0 +1,330 @@
+"""Multi-tenant serving front door with a coalescing batch scheduler.
+
+:class:`Server` is the "heavy traffic" entry point the paper's
+deployment story implies (many weight-stationary matrices resident in
+one DRAM module, streams of queries from many clients):
+
+* ``submit(model, x)`` enqueues one query and returns a
+  :class:`concurrent.futures.Future`; a single scheduler thread drains
+  the queue, **coalesces concurrent same-model queries into one
+  ``run_many()`` wave** (bank-sharded, broadcast-shared), and resolves
+  every future with a :class:`Response`.
+* All models share one :class:`~repro.serve.pool.BankPool` budget
+  through a :class:`~repro.serve.registry.ModelRegistry`: when a wave
+  cannot lease banks, the LRU resident plan is parked (counter image
+  exported) and the wave retries -- tenants that stop being queried
+  automatically yield their banks.
+* Every response carries an :class:`~repro.serve.telemetry.
+  ExecutionReport` priced from the wave's *measured* op delta, so
+  latency/energy reflect the command stream that actually executed.
+
+>>> import numpy as np
+>>> with Server(n_bits=2, pool_banks=16) as srv:
+...     _ = srv.register("eye", np.eye(3, dtype=np.uint8), kind="binary")
+...     resp = srv.query("eye", np.array([4, 0, 9]))
+>>> resp.y
+array([4, 0, 9])
+>>> resp.report.measured_ops > 0
+True
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.device import Device, EngineConfig
+from repro.dram.energy import DDR5_ENERGY, EnergyModel
+from repro.dram.timing import DDR5_4400_TIMING, TimingParams
+from repro.serve.pool import BankPool
+from repro.serve.registry import ModelRegistry
+from repro.serve.telemetry import ExecutionReport
+
+__all__ = ["Server", "Response", "ServerStats"]
+
+#: Queries one wave will coalesce at most (queue beyond this forms the
+#: next wave; run_many() additionally chunks by its own slot budget).
+_DEFAULT_MAX_BATCH = 64
+
+
+@dataclass(frozen=True)
+class Response:
+    """One served query: the result and its execution telemetry."""
+
+    y: np.ndarray
+    report: ExecutionReport
+
+    @property
+    def model(self) -> str:
+        return self.report.model
+
+
+@dataclass(frozen=True)
+class ServerStats:
+    """Scheduler-level counters (snapshot).
+
+    ``waves`` counts dispatched ``run_many()`` batches, ``queries``
+    the individual requests they carried; ``queries > waves`` is the
+    coalescing win.  ``rejected`` counts submissions that failed
+    validation before enqueueing.
+    """
+
+    waves: int = 0
+    queries: int = 0
+    max_wave: int = 0
+    rejected: int = 0
+
+
+class _Pending:
+    __slots__ = ("model", "x", "future")
+
+    def __init__(self, model: str, x: np.ndarray):
+        self.model = model
+        self.x = x
+        self.future: Future = Future()
+
+
+class Server:
+    """Shared-pool, plan-cached, batch-scheduled serving runtime.
+
+    Parameters
+    ----------
+    config / overrides:
+        The :class:`~repro.device.EngineConfig` every model's plan runs
+        under (same knobs as :class:`~repro.device.Device`).
+    pool_banks:
+        Total bank budget shared by *all* models (``None`` =
+        unaccounted).  A budget smaller than the registered models'
+        combined footprint is the normal operating point: the registry
+        parks cold plans (exported counter images) to make room for hot
+        ones.
+    max_resident:
+        Optional cap on simultaneously resident plans (on top of the
+        bank budget).
+    max_batch:
+        Most queries one wave coalesces.
+    timing / energy:
+        The DDR timing and energy models the per-query telemetry is
+        priced with.
+    """
+
+    def __init__(self, config: Optional[EngineConfig] = None,
+                 pool_banks: Optional[int] = None,
+                 max_resident: Optional[int] = None,
+                 max_batch: int = _DEFAULT_MAX_BATCH,
+                 timing: TimingParams = DDR5_4400_TIMING,
+                 energy: EnergyModel = DDR5_ENERGY,
+                 **overrides):
+        if max_batch < 1:
+            raise ValueError("max_batch must be positive")
+        self.pool = BankPool(pool_banks)
+        self.device = Device(config, pool=self.pool, **overrides)
+        self.registry = ModelRegistry(self.device,
+                                      max_resident=max_resident)
+        self.max_batch = max_batch
+        self.timing = timing
+        self.energy = energy
+        self._cv = threading.Condition()
+        self._queue: List[_Pending] = []
+        self._closed = False
+        self._waves = 0
+        self._queries = 0
+        self._max_wave = 0
+        self._rejected = 0
+        self._thread = threading.Thread(target=self._loop, daemon=True,
+                                        name="repro-serve-scheduler")
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    # model management
+    # ------------------------------------------------------------------
+    def register(self, name: str, z: np.ndarray,
+                 kind: Optional[str] = None,
+                 x_budget: Optional[int] = None):
+        """Register a model: plant ``z`` under ``name`` (lazy engines)."""
+        return self.registry.register(name, z, kind=kind,
+                                      x_budget=x_budget)
+
+    def unregister(self, name: str) -> None:
+        self.registry.unregister(name)
+
+    @property
+    def models(self) -> List[str]:
+        return self.registry.names()
+
+    # ------------------------------------------------------------------
+    # query path
+    # ------------------------------------------------------------------
+    def submit(self, model: str, x: np.ndarray) -> Future:
+        """Enqueue one query; the future resolves to a :class:`Response`.
+
+        Validation errors (unknown model, wrong query shape, closed
+        server) raise immediately at submission, never through the
+        future -- a rejected request must not occupy the scheduler.
+        """
+        self._check_open()
+        pending = self._validate(model, x)
+        with self._cv:
+            self._check_open()
+            self._queue.append(pending)
+            self._cv.notify()
+        return pending.future
+
+    def submit_many(self, model: str, xs: np.ndarray) -> List[Future]:
+        """Enqueue a burst atomically so it coalesces into waves.
+
+        All queries enter the queue under one lock hold, which is what
+        a burst of concurrent clients looks like to the scheduler --
+        the benchmark's coalesced side uses exactly this.
+        """
+        self._check_open()
+        try:
+            xs = np.asarray(xs)
+            if xs.ndim != 2:
+                raise ValueError("xs must be [Q, K]")
+            # One registry lookup (one lock hold, one LRU touch) for
+            # the whole burst; per-row validation is plan-local.
+            plan = self.registry.get(model)
+            pendings = [_Pending(model, plan.validate_query(x))
+                        for x in xs]
+        except (KeyError, ValueError):
+            with self._cv:
+                self._rejected += 1
+            raise
+        with self._cv:
+            self._check_open()
+            self._queue.extend(pendings)
+            self._cv.notify()
+        return [p.future for p in pendings]
+
+    def query(self, model: str, x: np.ndarray) -> Response:
+        """Submit one query and block for its response."""
+        return self.submit(model, x).result()
+
+    def _validate(self, model: str, x: np.ndarray) -> _Pending:
+        """Full shape *and domain* validation at submission time.
+
+        Delegating to the plan's own ``validate_query`` keeps the two
+        in lockstep: anything the wave would reject mid-flight (wrong
+        length, signed input against a binary plan) is rejected here,
+        so one bad query can never fail the coalesced wave its
+        innocent neighbors ride in.
+        """
+        try:
+            plan = self.registry.get(model)      # KeyError if unknown
+            x = plan.validate_query(x)
+        except (KeyError, ValueError):
+            with self._cv:                       # count under the lock
+                self._rejected += 1
+            raise
+        return _Pending(model, x)
+
+    # ------------------------------------------------------------------
+    # scheduler
+    # ------------------------------------------------------------------
+    def _loop(self) -> None:
+        while True:
+            with self._cv:
+                while not self._queue and not self._closed:
+                    self._cv.wait()
+                if not self._queue and self._closed:
+                    return
+                drained, self._queue = self._queue, []
+            groups: "OrderedDict[str, List[_Pending]]" = OrderedDict()
+            for pending in drained:
+                groups.setdefault(pending.model, []).append(pending)
+            for model, pendings in groups.items():
+                for lo in range(0, len(pendings), self.max_batch):
+                    self._execute(model, pendings[lo:lo + self.max_batch])
+
+    def _execute(self, model: str, pendings: List[_Pending]) -> None:
+        """One coalesced wave: run_many + per-query telemetry.
+
+        Everything fallible stays inside the try: a failure resolves
+        the wave's futures with the exception instead of unwinding --
+        and killing -- the scheduler thread.  Marking each future
+        *running* up front also closes the cancel/set_result race: a
+        future that reports cancelled here never resolves, one that
+        does not can no longer be cancelled.
+        """
+        live = [p for p in pendings
+                if p.future.set_running_or_notify_cancel()]
+        if not live:
+            return
+        try:
+            xs = np.stack([p.x for p in live])
+            ev_before = self.registry.stats.evictions
+            # The stats baseline is captured on the *same* plan object
+            # the registry hands the wave (inside fn), never a second
+            # name lookup -- an unregister/re-register racing the
+            # dispatch can otherwise split the two resolutions across
+            # different plans and zero out the telemetry.
+            executed: Dict[str, object] = {}
+
+            def wave(plan):
+                executed["plan"] = plan
+                executed.setdefault("before", plan.stats)
+                return plan.run_many(xs)
+
+            ys = self.registry.run(model, wave)
+            plan = executed["plan"]
+            before = executed["before"]
+            after = plan.stats
+            report = ExecutionReport.from_measured(
+                model=model,
+                batch_size=len(live),
+                measured_ops=after.measured_ops - before.measured_ops,
+                broadcasts=after.broadcasts - before.broadcasts,
+                n_banks=plan.wave_banks,
+                nominal_ops=2.0 * xs.shape[0] * plan.k * plan.n,
+                evictions=self.registry.stats.evictions - ev_before,
+                timing=self.timing, energy=self.energy)
+        except BaseException as exc:          # noqa: BLE001 - to futures
+            for pending in live:
+                pending.future.set_exception(exc)
+            return
+        self._waves += 1
+        self._queries += len(live)
+        self._max_wave = max(self._max_wave, len(live))
+        for pending, y in zip(live, ys):
+            pending.future.set_result(Response(y=y, report=report))
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> ServerStats:
+        return ServerStats(waves=self._waves, queries=self._queries,
+                           max_wave=self._max_wave,
+                           rejected=self._rejected)
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("server is closed")
+
+    def close(self) -> None:
+        """Drain queued work, stop the scheduler, release all plans.
+
+        Idempotent.  Queries already queued complete (their futures
+        resolve); submissions after close raise.
+        """
+        with self._cv:
+            if self._closed:
+                return
+            self._closed = True
+            self._cv.notify_all()
+        self._thread.join()
+        self.registry.close()
+        self.device.close()
+
+    def __enter__(self) -> "Server":
+        self._check_open()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,114 @@
+"""Per-query execution telemetry for the serving runtime.
+
+Every response out of :class:`repro.serve.Server` carries an
+:class:`ExecutionReport` priced from the wave's *executed* command
+stream: the plan's ``measured_ops`` delta (AAP/AP sequences the engines
+actually issued, fault retries and protection overhead included) goes
+through :func:`repro.dram.timing.time_for_aaps_ns` for latency and
+:class:`repro.dram.energy.EnergyModel` for energy, via
+:func:`repro.perf.metrics.measured_cost`.  Nominal op counts never enter
+the report -- a query that triggered retries or carry flushes costs
+more, and the report says so.
+
+>>> r = ExecutionReport.from_measured("m", batch_size=4, measured_ops=800,
+...                                   broadcasts=40, n_banks=8)
+>>> r.coalesced, r.measured_ops
+(True, 800)
+>>> r.latency_ns == r.cost.time_s * 1e9
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.dram.energy import DDR5_ENERGY, EnergyModel
+from repro.dram.timing import DDR5_4400_TIMING, TimingParams
+from repro.perf.metrics import CostReport, measured_cost
+
+__all__ = ["ExecutionReport"]
+
+
+@dataclass(frozen=True)
+class ExecutionReport:
+    """What one served query actually cost, modeled from measured ops.
+
+    Attributes
+    ----------
+    model:
+        Registry name of the plan that answered the query.
+    batch_size:
+        Queries coalesced into the wave that carried this one
+        (``coalesced`` is true when > 1).
+    measured_ops / broadcasts:
+        The wave's executed AAP/AP sequence count and broadcast
+        (``accumulate``) count -- deltas of the plan's monotonic
+        counters around the wave.
+    n_banks:
+        Bank-level parallelism the wave's command stream was spread
+        over (the plan's leased banks), which sets the AAP issue rate.
+    cost:
+        The wave's :class:`~repro.perf.metrics.CostReport` built by
+        :func:`~repro.perf.metrics.measured_cost` -- latency from
+        ``time_for_aaps_ns(measured_ops, n_banks)``, energy from
+        ``EnergyModel.energy_for_aaps_j`` over that makespan.
+    dynamic_energy_j:
+        The command-proportional part of the wave's energy
+        (:meth:`~repro.dram.energy.EnergyModel.dynamic_energy_j`); the
+        remainder of ``energy_j`` is makespan-proportional background
+        power the coalesced batch shares.
+    query_energy_j:
+        This query's attributed share: an even split of the wave's
+        dynamic *and* background energy across its queries.
+    evictions:
+        Plans the registry had to park to make bank room for this wave.
+    """
+
+    model: str
+    batch_size: int
+    measured_ops: int
+    broadcasts: int
+    n_banks: int
+    cost: CostReport
+    dynamic_energy_j: float
+    query_energy_j: float
+    evictions: int = 0
+
+    @property
+    def coalesced(self) -> bool:
+        """Whether the wave batched this query with concurrent ones."""
+        return self.batch_size > 1
+
+    @property
+    def latency_ns(self) -> float:
+        """Modeled makespan of the wave this query rode in."""
+        return self.cost.time_s * 1e9
+
+    @property
+    def energy_j(self) -> float:
+        """Modeled energy of the whole wave."""
+        return self.cost.energy_j
+
+    @classmethod
+    def from_measured(cls, model: str, batch_size: int, measured_ops: int,
+                      broadcasts: int, n_banks: int,
+                      nominal_ops: float = 0.0, evictions: int = 0,
+                      timing: TimingParams = DDR5_4400_TIMING,
+                      energy: Optional[EnergyModel] = None
+                      ) -> "ExecutionReport":
+        """Price one wave's executed command stream."""
+        if batch_size < 1:
+            raise ValueError("a wave carries at least one query")
+        energy = energy or DDR5_ENERGY
+        cost = measured_cost(measured_ops, n_banks,
+                             nominal_ops=nominal_ops,
+                             name=f"serve:{model}", timing=timing,
+                             energy=energy)
+        return cls(model=model, batch_size=batch_size,
+                   measured_ops=int(measured_ops),
+                   broadcasts=int(broadcasts), n_banks=int(n_banks),
+                   cost=cost,
+                   dynamic_energy_j=energy.dynamic_energy_j(measured_ops),
+                   query_energy_j=cost.energy_j / batch_size,
+                   evictions=int(evictions))

@@ -215,7 +215,7 @@ class TestGCN:
             assert (gcn_forward_cim(graph, device=dev) == ref).all()
             # Per-call plans are closed and forgotten again: the shared
             # device does not accumulate resources across passes.
-            assert dev._plans == []
+            assert dev.plans == []
             # The device fixes the engine config; contradicting knobs
             # raise instead of being silently ignored.
             with pytest.raises(ValueError, match="explicit device"):

@@ -8,17 +8,21 @@ kwarg contradiction on the one-shot kernels raises instead of silently
 preferring the engine.
 """
 
+import warnings
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro import Device, EngineConfig
+from repro import (AmbiguousKindWarning, Device, DeviceClosedError,
+                   EngineConfig, PlanClosedError)
 from repro.core import CounterArray
-from repro.dram.faults import FaultModel
+from repro.dram.faults import FAULT_FREE, FaultModel
 from repro.engine import BankCluster, CountingEngine
 from repro.kernels import (binary_gemm, binary_gemv, required_digits,
                            ternary_gemm, ternary_gemv)
+from repro.kernels.lowering import digits_for_budget, infer_kind
 
 BACKENDS = ["fast", "bit"]
 
@@ -251,7 +255,7 @@ class TestBudgetAndStats:
         plan(np.ones(4, dtype=np.int64))
         stats_before = plan.stats
         plan.close()
-        assert dev._plans == []                      # no registry pinning
+        assert dev.plans == []                       # no registry pinning
         assert plan._masks is None                   # mask images freed
         assert plan.stats.resident_rows == stats_before.resident_rows
         dev.close()
@@ -275,6 +279,7 @@ class TestBudgetAndStats:
 
     def test_gemm_plan_reuse(self, rng):
         z = rng.integers(-1, 2, (10, 12)).astype(np.int8)
+        assert (z == -1).any()                       # inference unambiguous
         xs = rng.integers(-6, 7, (5, 10))
         with Device() as dev:
             plan = dev.plan_gemm(z)                  # kind inferred
@@ -283,10 +288,43 @@ class TestBudgetAndStats:
             assert (plan(xs) == xs @ z).all()
             assert plan.stats.queries == 10
 
-    def test_kind_inference_binary(self, rng):
+
+class TestKindInference:
+    """infer_kind ambiguity: a Z with no -1 warns unless kind= is given."""
+
+    def test_unambiguous_ternary_does_not_warn(self, rng):
+        z = np.array([[1, -1], [0, 1]], dtype=np.int8)
+        with Device() as dev:
+            with warnings.catch_warnings():
+                warnings.simplefilter("error", AmbiguousKindWarning)
+                assert dev.plan_gemv(z).kind == "ternary"
+
+    @pytest.mark.parametrize("z", [
+        np.zeros((3, 4), dtype=np.int8),             # all-zero
+        np.ones((2, 2), dtype=np.uint8),             # all-{0,1}
+    ])
+    def test_ambiguous_inference_warns(self, z):
+        with Device() as dev:
+            with pytest.warns(AmbiguousKindWarning, match="no -1"):
+                assert dev.plan_gemv(z).kind == "binary"
+            with pytest.warns(AmbiguousKindWarning):
+                dev.plan_gemm(z)
+
+    def test_explicit_kind_silences_warning(self, rng):
         z = rng.integers(0, 2, (4, 6)).astype(np.uint8)
         with Device() as dev:
-            assert dev.plan_gemm(z).kind == "binary"
+            with warnings.catch_warnings():
+                warnings.simplefilter("error", AmbiguousKindWarning)
+                assert dev.plan_gemv(z, kind="binary").kind == "binary"
+                assert dev.plan_gemm(z, kind="ternary").kind == "ternary"
+
+    def test_infer_kind_helper(self):
+        assert infer_kind(np.array([[0, -1]])) == ("ternary", False)
+        assert infer_kind(np.array([[0, 1]])) == ("binary", True)
+        assert infer_kind(np.zeros((2, 2))) == ("binary", True)
+        # Out-of-range entries resolve to ternary so validation reports
+        # the range error instead of a misleading binary message.
+        assert infer_kind(np.array([[7]])) == ("ternary", False)
 
 
 class TestLifecycle:
@@ -299,6 +337,59 @@ class TestLifecycle:
             plan(np.ones(4, dtype=np.int64))
         with pytest.raises(RuntimeError, match="closed"):
             dev.plan_gemv(z, kind="binary")
+
+    def test_close_paths_are_idempotent_and_typed(self, rng):
+        """Double-close of plan and device is safe; the two 'closed'
+        error paths are distinct, typed exceptions."""
+        z = rng.integers(0, 2, (4, 4)).astype(np.uint8)
+        dev = Device()
+        plan = dev.plan_gemv(z, kind="binary")
+        plan(np.ones(4, dtype=np.int64))
+        plan.close()
+        plan.close()                                 # plan double-close
+        dev.close()
+        dev.close()                                  # device double-close
+        with pytest.raises(PlanClosedError, match="plan is closed"):
+            plan(np.ones(4, dtype=np.int64))
+        with pytest.raises(DeviceClosedError, match="device is closed"):
+            dev.plan_gemv(z, kind="binary")
+        # Both are RuntimeErrors, so existing handlers keep working.
+        assert issubclass(PlanClosedError, RuntimeError)
+        assert issubclass(DeviceClosedError, RuntimeError)
+
+    def test_device_shutdown_reason_reaches_plan_error(self, rng):
+        z = rng.integers(0, 2, (3, 3)).astype(np.uint8)
+        dev = Device()
+        plan = dev.plan_gemv(z, kind="binary")
+        dev.close()
+        with pytest.raises(PlanClosedError, match="device shut down"):
+            plan(np.ones(3, dtype=np.int64))
+
+    def test_gemm_plan_handle_bookkeeping(self, rng):
+        """GemmPlans are adopted/forgotten as themselves, no _gemv hacks."""
+        z = rng.integers(-1, 2, (4, 5)).astype(np.int8)
+        dev = Device()
+        gemm = dev.plan_gemm(z, kind="ternary")
+        gemv = dev.plan_gemv(z, kind="ternary")
+        assert dev.plans == [gemm, gemv]
+        gemm.close()
+        gemm.close()                                 # idempotent
+        assert dev.plans == [gemv]
+        with pytest.raises(PlanClosedError):
+            gemm(np.ones((2, 4), dtype=np.int64))
+        dev.close()
+        assert dev.plans == []
+
+    def test_closed_plan_releases_pool_banks(self, rng):
+        from repro.serve import BankPool
+        pool = BankPool(16)
+        z = rng.integers(-1, 2, (5, 6)).astype(np.int8)
+        dev = Device(pool=pool)
+        plan = dev.plan_gemv(z, kind="ternary")
+        plan(rng.integers(-3, 4, 5))
+        assert pool.banks_leased > 0
+        dev.close()
+        assert pool.banks_leased == 0
 
     def test_validation_errors(self, rng):
         z = rng.integers(-1, 2, (4, 4)).astype(np.int8)
@@ -320,6 +411,64 @@ class TestLifecycle:
             bplan = dev.plan_gemv(np.abs(z), kind="binary")
             with pytest.raises(ValueError, match="non-negative"):
                 bplan(np.array([-1, 0, 0, 0]))
+
+
+class TestCounterImageRoundTrip:
+    """export_counters()/import_counters() is the invariant plan
+    eviction relies on: the row image round-trips bit-exactly, under
+    seeded fault models, on both backends."""
+
+    @given(backend=st.sampled_from(["bit", "word"]),
+           lanes=st.integers(1, 24),
+           p_milli=st.sampled_from([0, 5]),
+           seed=st.integers(0, 10_000),
+           values=st.lists(st.integers(1, 25), min_size=1, max_size=5))
+    @settings(max_examples=40, deadline=None)
+    def test_property_roundtrip_under_faults(self, backend, lanes,
+                                             p_milli, seed, values):
+        fm = (FaultModel(p_cim=p_milli * 1e-3, seed=seed) if p_milli
+              else FAULT_FREE)
+        n_digits = digits_for_budget(2, sum(values))
+        eng = CountingEngine(2, n_digits, lanes, fault_model=fm,
+                             backend=backend)
+        eng.reset_counters()
+        mask_rng = np.random.default_rng(seed)
+        for v in values:
+            eng.load_mask(0, mask_rng.integers(0, 2, lanes)
+                          .astype(np.uint8))
+            eng.accumulate(v)
+        image = eng.export_counters()
+        decoded = eng.read_values(strict=False)
+        # Import into a *fresh* engine of the same geometry: values and
+        # re-exported image must match bit for bit -- this is exactly
+        # what unparking an evicted plan does.
+        fresh = CountingEngine(2, n_digits, lanes, backend=backend)
+        fresh.reset_counters()
+        fresh.import_counters(image)
+        assert (fresh.export_counters() == image).all()
+        assert (fresh.read_values(strict=False) == decoded).all()
+        # And in-place round-trip on the original engine is stable.
+        eng.import_counters(image)
+        assert (eng.export_counters() == image).all()
+
+    def test_cluster_roundtrip(self, rng):
+        cluster = BankCluster(n_bits=2, n_digits=3, lanes_per_bank=6,
+                              n_banks=2)
+        cluster.dispatch([(3, rng.integers(0, 2, 6).astype(np.uint8)),
+                          (5, rng.integers(0, 2, 6).astype(np.uint8))])
+        image = cluster.export_counters()
+        values = cluster.read_bank_values()
+        other = BankCluster(n_bits=2, n_digits=3, lanes_per_bank=6,
+                            n_banks=2)
+        other.import_counters(image)
+        assert (other.read_bank_values() == values).all()
+        assert (other.export_counters() == image).all()
+
+    def test_image_shape_mismatch_rejected(self):
+        eng = CountingEngine(2, 3, 8)
+        assert eng.counter_image_shape == (9, 8)
+        with pytest.raises(ValueError, match="shape mismatch"):
+            eng.import_counters(np.zeros((4, 8), dtype=np.uint8))
 
 
 class TestEngineBackendContradiction:

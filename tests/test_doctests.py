@@ -18,6 +18,11 @@ import repro.kernels.bitslice
 import repro.kernels.gemm
 import repro.kernels.gemv
 import repro.kernels.lowering
+import repro.perf.metrics
+import repro.serve.pool
+import repro.serve.registry
+import repro.serve.server
+import repro.serve.telemetry
 import repro.util
 
 
@@ -25,7 +30,9 @@ import repro.util
     repro.util, repro.core.kary, repro.kernels.bitslice,
     repro.dram.wordline, repro.engine.cluster,
     repro.kernels.gemv, repro.kernels.gemm,
-    repro.kernels.lowering, repro.device])
+    repro.kernels.lowering, repro.device, repro.perf.metrics,
+    repro.serve.pool, repro.serve.registry, repro.serve.server,
+    repro.serve.telemetry])
 def test_doctests(module):
     result = doctest.testmod(module)
     # A module with examples must run them all cleanly.

@@ -1,5 +1,7 @@
 """The experiment runner CLI."""
 
+import json
+
 import pytest
 
 from repro.experiments.runner import main
@@ -31,3 +33,21 @@ class TestRunnerCLI:
     def test_unknown_experiment(self):
         with pytest.raises(KeyError):
             main(["fig99"])
+
+    def test_json_output_is_machine_readable(self, capsys):
+        assert main(["fig19", "--json"]) == 0
+        out = capsys.readouterr().out
+        doc = json.loads(out)                 # no tables mixed in
+        (entry,) = doc["experiments"]
+        assert entry["name"] == "fig19"
+        assert entry["experiment_id"].startswith("Fig")
+        assert entry["rows"] and isinstance(entry["rows"][0], dict)
+        assert entry["seconds"] >= 0
+        # Row values are JSON-native (numpy scalars folded).
+        json.dumps(entry["rows"])
+
+    def test_json_multiple_experiments(self, capsys):
+        assert main(["fig19", "fig07", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert [e["name"] for e in doc["experiments"]] == ["fig19",
+                                                           "fig07"]
