@@ -3,9 +3,13 @@
 Each benchmark runs its experiment through pytest-benchmark (one round --
 these are reproduction harnesses, not microbenchmarks), prints the
 regenerated table for the log, and archives it under
-``benchmarks/results/`` for EXPERIMENTS.md.
+``benchmarks/results/`` for EXPERIMENTS.md.  Performance-trajectory
+benches additionally archive a machine-readable ``BENCH_<name>.json``
+(same document shape as ``repro.experiments.runner --json``) so CI can
+track the numbers across PRs without parsing tables.
 """
 
+import json
 import pathlib
 
 import pytest
@@ -24,6 +28,36 @@ def record_result():
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
         print("\n" + text)
         return result
+    return _record
+
+
+@pytest.fixture
+def record_bench_json():
+    """Persist a benchmark as ``BENCH_<name>.json`` (runner ``--json`` shape).
+
+    The document mirrors what ``python -m repro.experiments.runner
+    <exp> --json`` emits -- ``{"experiments": [{experiment_id, title,
+    rows, notes, name, seconds}]}`` with native-Python row values -- so
+    the CI smoke jobs and any tooling that already consumes runner
+    output can track benchmark trajectories the same way.
+    """
+    def _record(name, title, rows, notes=(), seconds=None):
+        def _native(value):
+            return value.item() if hasattr(value, "item") else value
+        document = {"experiments": [{
+            "experiment_id": f"BENCH_{name}",
+            "title": title,
+            "rows": [{k: _native(v) for k, v in row.items()}
+                     for row in rows],
+            "notes": list(notes),
+            "name": name,
+            "seconds": (None if seconds is None
+                        else round(float(seconds), 3)),
+        }]}
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"BENCH_{name}.json"
+        path.write_text(json.dumps(document, indent=2) + "\n")
+        return path
     return _record
 
 

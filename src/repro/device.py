@@ -56,6 +56,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.dram.faults import FAULT_FREE, FaultModel
+from repro.dram.wordline import pack_rows
 from repro.engine.cluster import BankCluster
 from repro.engine.machine import CountingEngine
 from repro.kernels.lowering import (DEFAULT_BANKS, digits_for_budget,
@@ -149,10 +150,13 @@ class PlanStats:
     :class:`repro.perf.C2MModel` op accounting (the serving telemetry
     prices latency/energy from exactly this number);
     ``program_compiles`` / ``program_replays`` split μProgram cache
-    misses from hits, ``resident_rows`` is the number of planted
-    mask-row images (binary: one per Z row; ternary: both sign
-    orientations per row), and ``parks`` / ``unparks`` count eviction
-    round-trips through the counter-image relocation path.
+    misses from hits and ``trace_compiles`` / ``trace_replays`` do the
+    same for the word backend's fused-trace cache (zero on the bit
+    backend and under active fault models, which bypass fusion),
+    ``resident_rows`` is the number of planted mask-row images (binary:
+    one per Z row; ternary: both sign orientations per row), and
+    ``parks`` / ``unparks`` count eviction round-trips through the
+    counter-image relocation path.
     """
 
     queries: int = 0
@@ -164,6 +168,8 @@ class PlanStats:
     program_replays: int = 0
     parks: int = 0
     unparks: int = 0
+    trace_compiles: int = 0
+    trace_replays: int = 0
 
 
 class GemvPlan:
@@ -239,7 +245,8 @@ class GemvPlan:
         self._replans = 0
         self._parks = 0
         self._unparks = 0
-        self._retired = np.zeros(3, dtype=np.int64)  # ops/compiles/replays
+        # ops / prog compiles / prog replays / trace compiles / replays
+        self._retired = np.zeros(5, dtype=np.int64)
         # Engines/clusters are built lazily on first use: a plan that
         # only ever sees run_many() never allocates the single-query
         # cluster, and vice versa.
@@ -685,8 +692,9 @@ class GemvPlan:
         eng = cluster.engine
         width = self._width
         # Scatter planted masks into wave images (blockwise, so huge
-        # chunks never materialize hundreds of MB at once) and
-        # broadcast each wave.
+        # chunks never materialize hundreds of MB at once), pack the
+        # whole block once, and broadcast each wave from its packed
+        # image -- masks never unpack per wave.
         block = max(1, (1 << 24) // max(1, cluster.n_lanes))
         for lo in range(0, n_waves, block):
             hi = min(lo + block, n_waves)
@@ -695,9 +703,9 @@ class GemvPlan:
                             dtype=np.uint8)
             wide[wave_id[sel] - lo, bank_col[sel]] = \
                 self._flat_masks[r_s[sel]]
-            wide = wide.reshape(hi - lo, -1)
+            packed = pack_rows(wide.reshape(hi - lo, -1))
             for w in range(hi - lo):
-                eng.load_mask(0, wide[w])
+                eng.load_mask_packed(0, packed[w])
                 eng.accumulate(int(mag_of_wave[lo + w]))
         self._broadcasts += n_waves
         partials = cluster.read_bank_values(strict=self.config.strict_reads)
@@ -712,10 +720,9 @@ class GemvPlan:
     def stats(self) -> PlanStats:
         """Snapshot of this plan's cost counters."""
         live = self._live_engines()
-        ops = self._retired + [
-            sum(e.measured_ops for e in live),
-            sum(e.prog_compiles for e in live),
-            sum(e.prog_replays for e in live)]
+        ops = self._retired.copy()
+        for eng in live:
+            ops += eng.counters
         resident = self._resident_rows
         return PlanStats(queries=self._queries,
                          broadcasts=self._broadcasts,
@@ -725,7 +732,9 @@ class GemvPlan:
                          program_compiles=int(ops[1]),
                          program_replays=int(ops[2]),
                          parks=self._parks,
-                         unparks=self._unparks)
+                         unparks=self._unparks,
+                         trace_compiles=int(ops[3]),
+                         trace_replays=int(ops[4]))
 
 
 class GemmPlan:

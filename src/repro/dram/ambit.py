@@ -66,6 +66,12 @@ class AmbitSubarray:
         Per-bit fault injection; multi-row activations use ``p_cim``.
     """
 
+    #: The bit backend never fuses traces; the counters exist for
+    #: interface parity with :class:`~repro.dram.wordline.
+    #: WordlineSubarray` so engine-level accounting stays backend-blind.
+    trace_compiles = 0
+    trace_replays = 0
+
     def __init__(self, n_data_rows: int, n_cols: int,
                  fault_model: FaultModel = FAULT_FREE):
         self.n_data_rows = int(n_data_rows)
@@ -136,6 +142,25 @@ class AmbitSubarray:
         if values.shape != (self.n_cols,):
             raise ValueError("row width mismatch")
         self.array.write_row(self._data_row(index), values)
+
+    def write_data_row_packed(self, index: int, words) -> None:
+        """Write one data row from packed ``uint64`` words.
+
+        Interface parity with the word backend's packed staging path
+        (:meth:`~repro.dram.wordline.WordlineSubarray.
+        write_data_row_packed`): callers stage operands packed and stay
+        backend-blind; the bit backend simply unpacks on arrival.
+        """
+        from repro.dram.wordline import unpack_bits
+        self.write_data_row(index, unpack_bits(
+            np.asarray(words, dtype=np.uint64), self.n_cols))
+
+    def write_rows(self, indices: Sequence[int], values) -> None:
+        """Write several data rows in one batched host transfer."""
+        values = np.asarray(values, dtype=np.uint8)
+        if values.shape != (len(indices), self.n_cols):
+            raise ValueError("row image shape mismatch")
+        self.array.cells[[self._data_row(i) for i in indices]] = values
 
     def read_data_row(self, index: int) -> np.ndarray:
         return self.array.read_row(self._data_row(index))

@@ -31,6 +31,7 @@ this).  Timing/energy accounting hooks (``aap_count``, ``ap_count``,
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, List, Sequence, Tuple, Union
 
 import numpy as np
@@ -38,9 +39,39 @@ import numpy as np
 from repro.dram.ambit import _DATA_BASE, _b_group_map, _C0, _C1
 from repro.dram.faults import FAULT_FREE, FaultModel
 
-__all__ = ["WordlineSubarray", "pack_bits", "unpack_bits"]
+__all__ = ["WordlineSubarray", "pack_bits", "pack_rows", "unpack_bits",
+           "DEFAULT_PROGRAM_CACHE"]
+
+# The trace compiler lives in repro.isa.trace, which (through the isa
+# package) transitively imports this module -- resolved lazily at the
+# first run_program call instead of at import time.
+_trace = None
+
+
+def _trace_module():
+    global _trace
+    if _trace is None:
+        from repro.isa import trace
+        _trace = trace
+    return _trace
 
 _FULL = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+#: Default bound on the per-subarray compiled-program LRU cache (both
+#: the resolved op lists and the fused traces live under this bound).
+#: Cached entries are small -- a few index arrays per trace; replay
+#: buffers live in one shared per-subarray scratch -- so the bound is
+#: sized for working sets (distinct event batches across magnitudes),
+#: not for memory.
+DEFAULT_PROGRAM_CACHE = 1024
+
+#: Fault-free runs of one program before its trace is compiled: run 1
+#: interprets (a one-shot program never pays compilation -- the cold
+#: kernel path stays cold-fast), run 2 compiles and fuses, and every
+#: further replay is pure fused execution.  Programs evicted from the
+#: LRU before their second run never compile at all, which keeps cache
+#: thrash no slower than the interpreter.
+FUSE_AFTER_RUNS = 2
 
 Address = Union[str, int]
 
@@ -62,6 +93,27 @@ def pack_bits(bits) -> np.ndarray:
     buf = np.zeros(n_words * 8, dtype=np.uint8)
     packed = np.packbits(bits, bitorder="little")
     buf[:packed.size] = packed
+    return buf.view(np.uint64)
+
+
+def pack_rows(bits) -> np.ndarray:
+    """Pack a ``[rows, cols]`` uint8 0/1 matrix into ``uint64`` words.
+
+    The batched form of :func:`pack_bits` -- one :func:`numpy.packbits`
+    call for the whole block, which is how wave masks are staged without
+    a per-row packing round-trip.  Tail bits of each row's last word are
+    zero, exactly as :func:`pack_bits` produces.
+
+    >>> pack_rows([[1, 0, 1], [0, 1, 1]]).tolist()
+    [[5], [6]]
+    """
+    bits = np.asarray(bits, dtype=np.uint8)
+    if bits.ndim != 2:
+        raise ValueError("pack_rows expects a [rows, cols] matrix")
+    n_words = (bits.shape[1] + 63) // 64
+    buf = np.zeros((bits.shape[0], n_words * 8), dtype=np.uint8)
+    packed = np.packbits(bits, axis=1, bitorder="little")
+    buf[:, :packed.shape[1]] = packed
     return buf.view(np.uint64)
 
 
@@ -87,6 +139,11 @@ class WordlineSubarray:
         Bitlines (= SIMD lanes); packed into ``ceil(n_cols / 64)`` words.
     fault_model:
         Per-bit fault injection, shared with the bit-level backend.
+    program_cache_size:
+        Bound on the compiled-program LRU cache (resolved op lists and
+        fused traces share one bound) -- a long-running process replays
+        many distinct μPrograms, and an unbounded identity-keyed cache
+        would pin every one of them forever.
 
     Bits past ``n_cols`` in the last word are *don't-care*: they never
     reach the fault model or a host read, and negation may set them
@@ -97,7 +154,8 @@ class WordlineSubarray:
     mode = "word"
 
     def __init__(self, n_data_rows: int, n_cols: int,
-                 fault_model: FaultModel = FAULT_FREE):
+                 fault_model: FaultModel = FAULT_FREE,
+                 program_cache_size: int = DEFAULT_PROGRAM_CACHE):
         self.n_data_rows = int(n_data_rows)
         self.n_cols = int(n_cols)
         self.n_words = (self.n_cols + 63) // 64
@@ -115,10 +173,17 @@ class WordlineSubarray:
             for name, ports in _b_group_map().items()}
         self._ports["C0"] = ((_C0, False),)
         self._ports["C1"] = ((_C1, False),)
-        # Compiled μProgram cache: id(program) -> (program, op list).
-        # The strong reference keeps each cached program alive so its id
-        # can never be reused by a different object.
-        self._compiled: Dict[int, tuple] = {}
+        # Compiled μProgram LRU cache: id(program) -> [program, op list,
+        # trace-or-None].  The strong reference keeps each cached
+        # program alive so its id can never be reused by a *different*
+        # live object, and the identity check on lookup guards against
+        # reuse of an evicted entry's id.  Resolved op lists and fused
+        # traces share the one bound.
+        self._compiled: "OrderedDict[int, list]" = OrderedDict()
+        self._program_cache_size = max(1, int(program_cache_size))
+        self._trace_scratch = None   # shared replay buffers, lazy
+        self.trace_compiles = 0   # cache misses: traces compiled
+        self.trace_replays = 0    # cache hits: fused traces re-executed
 
     # ------------------------------------------------------------------
     # addressing
@@ -202,24 +267,68 @@ class WordlineSubarray:
         self._sense(self.resolve(address))
         self.ap_count += 1
 
+    def _lookup_program(self, program) -> list:
+        """LRU-cached ``[program, resolved ops, trace, runs]`` entry."""
+        key = id(program)
+        entry = self._compiled.get(key)
+        if entry is not None and entry[0] is program:
+            self._compiled.move_to_end(key)
+            return entry
+        ops = tuple(
+            (op.kind == "AAP", self.resolve(op.src),
+             self.resolve(op.dst) if op.kind == "AAP" else None)
+            for op in program.ops)
+        entry = [program, ops, None, 0]
+        self._compiled[key] = entry
+        self._compiled.move_to_end(key)
+        while len(self._compiled) > self._program_cache_size:
+            self._compiled.popitem(last=False)
+        return entry
+
     def run_program(self, program) -> None:
         """Execute a :class:`~repro.isa.microprogram.MicroProgram`.
 
-        Programs are compiled once to resolved port tuples and cached by
-        identity, so replaying the same (engine-cached) program skips all
-        address resolution -- the batched-dispatch hot path.
+        Programs are compiled once to resolved port tuples and cached
+        (bounded LRU, identity-keyed), so replaying the same
+        (engine-cached) program skips all address resolution.  When the
+        fault model is inert, replay goes further: the program is
+        lowered once by :func:`repro.isa.trace.compile_trace` into a
+        level-scheduled fused trace and re-executed as a handful of
+        batched fancy-indexed NumPy operations -- no per-op Python loop
+        at all.  Cell states and every counter (``aap_count``,
+        ``ap_count``, ``activations``, ``multi_row_activations``) are
+        exactly what the interpreted path would produce; an active
+        fault model always takes the interpreted path so the seeded
+        fault stream stays bit-identical to the bit-level backend.
         """
-        cached = self._compiled.get(id(program))
-        if cached is None or cached[0] is not program:
-            ops = tuple(
-                (op.kind == "AAP", self.resolve(op.src),
-                 self.resolve(op.dst) if op.kind == "AAP" else None)
-                for op in program.ops)
-            self._compiled[id(program)] = (program, ops)
-        else:
-            ops = cached[1]
+        entry = self._lookup_program(program)
+        faulty = (self.fault_model.p_cim > 0.0
+                  or self.fault_model.p_read > 0.0)
+        if not faulty:
+            trace = _trace_module()
+            if trace.fusion_enabled():
+                compiled = entry[2]
+                if compiled is None:
+                    # JIT warm-up: interpret until the program proves
+                    # hot (FUSE_AFTER_RUNS), then compile once.
+                    entry[3] += 1
+                    if entry[3] >= FUSE_AFTER_RUNS:
+                        compiled = entry[2] = trace.compile_trace(
+                            program, self.resolve)
+                        self.trace_compiles += 1
+                else:
+                    self.trace_replays += 1
+                if compiled is not None:
+                    if self._trace_scratch is None:
+                        self._trace_scratch = trace.TraceScratch()
+                    compiled.execute(self.cells, self._trace_scratch)
+                    self.aap_count += compiled.n_aap
+                    self.ap_count += compiled.n_ap
+                    self.activations += compiled.n_activations
+                    self.multi_row_activations += compiled.n_multi
+                    return
         cells = self.cells
-        for is_aap, src_ports, dst_ports in ops:
+        for is_aap, src_ports, dst_ports in entry[1]:
             sensed = self._sense(src_ports)
             if is_aap:
                 for row, neg in dst_ports:
@@ -237,6 +346,35 @@ class WordlineSubarray:
         if values.shape != (self.n_cols,):
             raise ValueError("row width mismatch")
         self.cells[self._data_row(index)] = pack_bits(values)
+
+    def write_data_row_packed(self, index: int, words: np.ndarray) -> None:
+        """Write one data row from pre-packed ``uint64`` words.
+
+        The packed staging path: callers that already hold operands in
+        packed form (:func:`pack_bits` / :func:`pack_rows` output --
+        tail bits beyond ``n_cols`` must be zero) land them without an
+        unpack/re-pack round-trip per row.
+        """
+        words = np.asarray(words, dtype=np.uint64)
+        if words.shape != (self.n_words,):
+            raise ValueError("packed row width mismatch")
+        self.cells[self._data_row(index)] = words
+
+    def write_rows(self, indices: Sequence[int], values) -> None:
+        """Write several data rows in one batched host transfer.
+
+        One :func:`pack_rows` call covers the whole block; an all-zero
+        image (the counter-reset case) degenerates to a single
+        slice-assign with no packing at all.
+        """
+        values = np.asarray(values, dtype=np.uint8)
+        if values.shape != (len(indices), self.n_cols):
+            raise ValueError("row image shape mismatch")
+        rows = [self._data_row(i) for i in indices]
+        if not values.any():
+            self.cells[rows] = 0
+            return
+        self.cells[rows] = pack_rows(values)
 
     def read_data_row(self, index: int) -> np.ndarray:
         return unpack_bits(self.cells[self._data_row(index)], self.n_cols)

@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.core.iarm import BaseScheduler
 from repro.dram.faults import FAULT_FREE, FaultModel
+from repro.dram.wordline import pack_rows
 from repro.engine.machine import CountingEngine
 
 __all__ = ["BankCluster"]
@@ -87,30 +88,55 @@ class BankCluster:
         replay deterministically) and dealt across banks in waves of
         ``n_banks``; every wave costs a single broadcast accumulate.
         All-zero masks and zero values are skipped.
-        """
-        groups: dict = {}
-        for value, mask in updates:
-            v = int(value)
-            if v == 0:
-                continue
-            mask = np.asarray(mask, dtype=np.uint8)
-            if mask.shape != (self.lanes_per_bank,):
-                raise ValueError("mask width must equal lanes_per_bank")
-            if not mask.any():
-                continue
-            groups.setdefault(v, []).append(mask)
 
-        wide = np.zeros(self.n_lanes, dtype=np.uint8)
-        width = self.lanes_per_bank
-        for value, masks in groups.items():
-            for start in range(0, len(masks), self.n_banks):
-                wave = masks[start:start + self.n_banks]
-                wide[:] = 0
-                for bank, mask in enumerate(wave):
-                    wide[bank * width:(bank + 1) * width] = mask
-                self.engine.load_mask(0, wide)
-                self.engine.accumulate(value)
-                self.broadcasts += 1
+        Wave assembly is fully vectorized: one NumPy group-by over the
+        update values, one pad/reshape scattering every mask into its
+        ``(wave, bank)`` slot, and one :func:`~repro.dram.wordline.
+        pack_rows` staging the whole wave block in packed form -- the
+        per-wave work left in Python is just the broadcast itself.
+        """
+        pairs = [(int(v), m) for v, m in updates if int(v) != 0]
+        if not pairs:
+            return
+        values = np.array([v for v, _ in pairs], dtype=np.int64)
+        try:
+            masks = np.asarray([m for _, m in pairs], dtype=np.uint8)
+        except ValueError:
+            raise ValueError(
+                "mask width must equal lanes_per_bank") from None
+        if masks.ndim != 2 or masks.shape[1] != self.lanes_per_bank:
+            raise ValueError("mask width must equal lanes_per_bank")
+        keep = masks.any(axis=1)
+        values, masks = values[keep], masks[keep]
+        if values.size == 0:
+            return
+        # Group by value, ranked by first occurrence so the broadcast
+        # order is exactly the insertion-ordered dict the scalar loop
+        # used to build (deterministic replay).
+        uniq, first, inverse = np.unique(values, return_index=True,
+                                         return_inverse=True)
+        rank_of_uniq = np.empty(uniq.size, dtype=np.int64)
+        rank_of_uniq[np.argsort(first)] = np.arange(uniq.size)
+        rank = rank_of_uniq[inverse]
+        order = np.argsort(rank, kind="stable")
+        counts = np.bincount(rank, minlength=uniq.size)
+        # Deal position p of a group into bank p % n_banks of its wave
+        # p // n_banks; groups occupy consecutive wave ranges.
+        waves_per_group = -(-counts // self.n_banks)
+        wave_base = np.concatenate(([0], np.cumsum(waves_per_group)[:-1]))
+        group_start = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        pos = np.arange(values.size) - np.repeat(group_start, counts)
+        wave_id = wave_base[rank[order]] + pos // self.n_banks
+        n_waves = int(waves_per_group.sum())
+        wide = np.zeros((n_waves, self.n_banks, self.lanes_per_bank),
+                        dtype=np.uint8)
+        wide[wave_id, pos % self.n_banks] = masks[order]
+        packed = pack_rows(wide.reshape(n_waves, self.n_lanes))
+        magnitudes = np.repeat(uniq[np.argsort(first)], waves_per_group)
+        for w in range(n_waves):
+            self.engine.load_mask_packed(0, packed[w])
+            self.engine.accumulate(int(magnitudes[w]))
+        self.broadcasts += n_waves
 
     # ------------------------------------------------------------------
     def read_bank_values(self, strict: bool = True) -> np.ndarray:

@@ -16,6 +16,7 @@ Large-shape performance questions go through :mod:`repro.perf` instead.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import NamedTuple, Optional, Sequence
 
 import numpy as np
@@ -33,9 +34,18 @@ from repro.isa.templates import (kary_increment_program, masked_update_ops,
                                  overflow_check_ops,
                                  protected_masked_update_ops,
                                  underflow_check_ops)
-from repro.isa.microprogram import MicroProgram, aap
+from repro.isa.microprogram import MicroProgram, aap, concat
+from repro.isa.trace import fusion_enabled
 
 __all__ = ["CountingEngine", "EngineCounters"]
+
+#: Bound on the engine-level μProgram LRU cache.  Per-event keys are
+#: naturally bounded by (digit, k, mask row), but macro-fusion adds one
+#: entry per distinct *event batch* -- unbounded over a long-running
+#: serving process -- so the cache evicts least-recently-used programs.
+#: Entries are small (a MicroProgram is a few KB); the subarray's own
+#: bounded cache governs the compiled-trace side independently.
+ENGINE_PROGRAM_CACHE = 4096
 
 
 class EngineCounters(NamedTuple):
@@ -45,11 +55,17 @@ class EngineCounters(NamedTuple):
     latency/energy from: AAP/AP command sequences the subarray actually
     executed, retries included -- as opposed to the analytical op counts
     of :mod:`repro.perf` which never see the executed path.
+    ``trace_compiles`` / ``trace_replays`` split the word backend's
+    fused-trace cache the same way ``prog_compiles`` / ``prog_replays``
+    split the μProgram cache; both stay zero on the bit backend (which
+    never fuses) and under active fault models (which bypass fusion).
     """
 
     measured_ops: int
     prog_compiles: int
     prog_replays: int
+    trace_compiles: int = 0
+    trace_replays: int = 0
 
 
 class CountingEngine:
@@ -117,10 +133,12 @@ class CountingEngine:
                         else AmbitSubarray)
         self.subarray = subarray_cls(self.layout.total_rows, n_lanes,
                                      fault_model)
-        # Increment/resolve μPrograms depend only on (digit, k, mask row),
-        # so they compile once and replay from this cache.  The plan
-        # layer surfaces the compile/replay split through Plan.stats.
-        self._prog_cache = {}
+        # Increment/resolve μPrograms depend only on (digit, k, mask
+        # row) and macro-fused batches on the full event signature, so
+        # they compile once and replay from this bounded LRU cache.
+        # The plan layer surfaces the compile/replay split through
+        # Plan.stats.
+        self._prog_cache: "OrderedDict" = OrderedDict()
         self.prog_compiles = 0   # cache misses: μPrograms built
         self.prog_replays = 0    # cache hits: compiled μPrograms reused
         self.scheduler = scheduler or IARMScheduler(n_bits, n_digits)
@@ -138,6 +156,12 @@ class CountingEngine:
         self.max_retries = max_retries
         self.model_ops = 0       # paper-formula op accounting
         self._flushed = True
+        # Static part of the macro-fusion predicate (backend, faults
+        # and protection are fixed at construction; only the process-
+        # wide fusion switch is re-checked per batch).
+        self._fusable = (self.backend == "word" and not self.fr_checks
+                         and fault_model.p_cim == 0.0
+                         and fault_model.p_read == 0.0)
 
     # ------------------------------------------------------------------
     # operand staging
@@ -147,6 +171,17 @@ class CountingEngine:
         bits = np.asarray(bits, dtype=np.uint8)
         self.subarray.write_data_row(self.layout.mask_rows[index], bits)
 
+    def load_mask_packed(self, index: int, words) -> None:
+        """Write one Z mask row from pre-packed ``uint64`` words.
+
+        The batched dispatchers stage whole blocks of wave masks with
+        one :func:`~repro.dram.wordline.pack_rows` call and land each
+        wave through here -- masks never round-trip through per-wave
+        bit unpacking (both backends accept the packed form).
+        """
+        self.subarray.write_data_row_packed(self.layout.mask_rows[index],
+                                            words)
+
     def reset_counters(self) -> None:
         """Zero all digit and O_next rows; masks stay resident.
 
@@ -154,14 +189,14 @@ class CountingEngine:
         (including pending-carry flags) is cleared, the scheduler's
         virtual counter restarts from the all-zero bound, but loaded
         mask rows are untouched -- plan reuse depends on that invariant
-        (pinned by ``tests/test_device.py``).
+        (pinned by ``tests/test_device.py``).  The zeroing lands as one
+        batched ``write_rows`` (a single slice-assign on the word
+        backend), not a per-row host write.
         """
-        zero = np.zeros(self.n_lanes, dtype=np.uint8)
-        for rows in self.layout.digit_bit_rows:
-            for r in rows:
-                self.subarray.write_data_row(r, zero)
-        for r in self.layout.onext_rows:
-            self.subarray.write_data_row(r, zero)
+        rows = [r for digit in self.layout.digit_bit_rows for r in digit]
+        rows.extend(self.layout.onext_rows)
+        self.subarray.write_rows(
+            rows, np.zeros((len(rows), self.n_lanes), dtype=np.uint8))
         # Zeroed rows mean no outstanding carries anywhere: the next
         # read needs no flush and the scheduler restarts tight.
         self.scheduler.reset()
@@ -237,20 +272,32 @@ class CountingEngine:
     # ------------------------------------------------------------------
     # event execution
     # ------------------------------------------------------------------
+    def _cached_program(self, key):
+        """LRU lookup in the engine μProgram cache (counts a replay)."""
+        prog = self._prog_cache.get(key)
+        if prog is not None:
+            self._prog_cache.move_to_end(key)
+            self.prog_replays += 1
+        return prog
+
+    def _store_program(self, key, prog):
+        """Insert into the bounded μProgram cache (counts a compile)."""
+        self._prog_cache[key] = prog
+        self.prog_compiles += 1
+        while len(self._prog_cache) > ENGINE_PROGRAM_CACHE:
+            self._prog_cache.popitem(last=False)
+        return prog
+
     def _run_increment(self, digit: int, k: int, mask_row: int) -> None:
         lay = self.layout
         bit_rows = lay.digit_bit_rows[digit]
         if not self.fr_checks:
             key = (digit, k, mask_row)
-            prog = self._prog_cache.get(key)
+            prog = self._cached_program(key)
             if prog is None:
-                prog = kary_increment_program(bit_rows, mask_row, k,
-                                              lay.scratch_rows,
-                                              lay.onext_rows[digit])
-                self._prog_cache[key] = prog
-                self.prog_compiles += 1
-            else:
-                self.prog_replays += 1
+                prog = self._store_program(key, kary_increment_program(
+                    bit_rows, mask_row, k, lay.scratch_rows,
+                    lay.onext_rows[digit]))
             self.subarray.run_program(prog)
             return
 
@@ -311,19 +358,85 @@ class CountingEngine:
         onext = self.layout.onext_rows[digit]
         self._run_increment(digit + 1, direction, mask_row=onext)
         key = ("clear", onext)
-        prog = self._prog_cache.get(key)
+        prog = self._cached_program(key)
         if prog is None:
-            prog = MicroProgram("clear_onext", (aap("C0", onext),))
-            self._prog_cache[key] = prog
-            self.prog_compiles += 1
-        else:
-            self.prog_replays += 1
+            prog = self._store_program(key, MicroProgram(
+                "clear_onext", (aap("C0", onext),)))
         self.subarray.run_program(prog)
+
+    def _fused_batch_program(self, events: Sequence[Event],
+                             mask_row: int) -> MicroProgram:
+        """One concatenated μProgram covering a whole event batch.
+
+        The word backend's macro-fusion: every event of an
+        ``accumulate()`` is straight-line dataflow, so the batch
+        concatenates into a single program whose compiled trace
+        level-schedules *across* events -- independent digit updates
+        (distinct counter rows; the shared B-group temporaries are
+        renamed away by the trace compiler's SSA form) execute in the
+        same batched levels, and per-program dispatch overhead is paid
+        once per broadcast instead of once per event.  Cached alongside
+        the per-event μPrograms, keyed by the full event batch.
+        """
+        key = ("batch", mask_row) + tuple(
+            (ev.digit, ev.k) if isinstance(ev, Increment)
+            else ("resolve", ev.digit, ev.direction) for ev in events)
+        prog = self._cached_program(key)
+        if prog is None:
+            lay = self.layout
+            parts = []
+            for ev in events:
+                if isinstance(ev, Increment):
+                    parts.append(kary_increment_program(
+                        lay.digit_bit_rows[ev.digit], mask_row, ev.k,
+                        lay.scratch_rows, lay.onext_rows[ev.digit]))
+                elif isinstance(ev, CarryResolve):
+                    onext = lay.onext_rows[ev.digit]
+                    parts.append(kary_increment_program(
+                        lay.digit_bit_rows[ev.digit + 1], onext,
+                        ev.direction, lay.scratch_rows,
+                        lay.onext_rows[ev.digit + 1]))
+                    parts.append(MicroProgram("clear_onext",
+                                              (aap("C0", onext),)))
+                else:  # pragma: no cover - defensive
+                    raise TypeError(f"unknown event {ev!r}")
+            prog = self._store_program(
+                key, concat(f"batch[{len(events)}]", parts))
+        return prog
+
+    def _can_fuse_batch(self) -> bool:
+        """Macro-fusion applies on the fault-free, unprotected word path.
+
+        Exactly the conditions under which the subarray itself would
+        fuse each program: an active fault model (which must draw its
+        per-activation random stream in interpreted order) or ECC
+        protection (which interleaves host reads and retries between
+        ops) falls back to per-event execution, as does an explicit
+        :func:`repro.isa.trace.fusion_disabled` scope.
+        """
+        return self._fusable and fusion_enabled()
 
     def execute_events(self, events: Sequence[Event],
                        mask_index: int = 0) -> None:
-        """Run scheduler events against the subarray."""
+        """Run scheduler events against the subarray.
+
+        On the fault-free word path the whole batch is fused into one
+        concatenated μProgram (see :meth:`_fused_batch_program`) and
+        replayed as a single compiled trace; otherwise events execute
+        one by one.  Cell states and AAP/AP/activation accounting are
+        identical either way -- concatenation preserves op order and
+        the totals are additive -- only the compile/replay cache
+        counters see different (per-batch vs per-event) granularity.
+        """
+        events = list(events)
         mask_row = self.layout.mask_rows[mask_index]
+        if len(events) > 1 and self._can_fuse_batch():
+            self.subarray.run_program(
+                self._fused_batch_program(events, mask_row))
+            for ev in events:
+                self.model_ops += event_ops(ev, self.n_bits,
+                                            fr_checks=self.fr_checks)
+            return
         for ev in events:
             if isinstance(ev, Increment):
                 self._run_increment(ev.digit, ev.k, mask_row)
@@ -413,20 +526,21 @@ class CountingEngine:
         return self.subarray.read_rows(self.counter_image_rows())
 
     def import_counters(self, image: np.ndarray) -> None:
-        """Restore a previously exported counter image."""
+        """Restore a previously exported counter image (one bulk write)."""
         image = np.asarray(image, dtype=np.uint8)
         rows = self.counter_image_rows()
         if image.shape != (len(rows), self.n_lanes):
             raise ValueError("counter image shape mismatch")
-        for row, bits in zip(rows, image):
-            self.subarray.write_data_row(row, bits)
+        self.subarray.write_rows(rows, image)
         self._flushed = True
 
     @property
     def counters(self) -> EngineCounters:
         """Snapshot of this engine's accrued cost counters."""
         return EngineCounters(self.measured_ops, self.prog_compiles,
-                              self.prog_replays)
+                              self.prog_replays,
+                              self.subarray.trace_compiles,
+                              self.subarray.trace_replays)
 
     @property
     def measured_ops(self) -> int:

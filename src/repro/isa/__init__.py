@@ -11,6 +11,8 @@ from repro.isa.nvm import (LogicOp, MagicMachine, PinatuboMachine,
                            pinatubo_decrement_program,
                            pinatubo_increment_program, pinatubo_op_count)
 from repro.isa.synthesis import LoweringError, lower_to_ambit
+from repro.isa.trace import (CompiledTrace, compile_trace, fusion_disabled,
+                             fusion_enabled)
 from repro.isa.templates import (carry_resolve_program, kary_increment_program,
                                  masked_update_ops, overflow_check_ops,
                                  protected_masked_update_ops,
@@ -27,6 +29,7 @@ __all__ = [
     "pinatubo_decrement_program",
     "pinatubo_increment_program", "pinatubo_op_count",
     "LoweringError", "lower_to_ambit",
+    "CompiledTrace", "compile_trace", "fusion_disabled", "fusion_enabled",
     "carry_resolve_program", "kary_increment_program", "masked_update_ops",
     "overflow_check_ops", "protected_masked_update_ops",
     "row_clear_program", "row_copy_program", "underflow_check_ops",

@@ -1,0 +1,496 @@
+"""Ahead-of-time trace compilation of fault-free μPrograms (Sec. 5.1).
+
+The paper's throughput story rests on one broadcast command stream
+driving thousands of lanes at once.  The word-parallel backend already
+executes each AAP/AP as a handful of bulk bitwise NumPy calls, but the
+*stream* is still interpreted one op at a time in Python -- and a
+fault-free increment program is pure straight-line bitwise dataflow, so
+interpreter overhead, not bitwise work, bounds the hot path.
+
+:func:`compile_trace` lowers a resolved μProgram into a
+:class:`CompiledTrace`: a small SSA dataflow IR over physical rows.
+
+* **Copy aliasing** -- a single-source ``AAP`` (RowClone) binds the
+  destination rows to the source *value*; copies cost nothing at
+  replay.  Dual-contact destinations alias the complemented value
+  through a polarity bit instead of materializing a NOT.
+* **Constant folding** -- reads of the ``C0``/``C1`` control rows are
+  known constants; a majority with two constant (or two identical, or
+  two complementary) operands folds to a plain value reference.
+* **Dead-write elimination** -- only values transitively needed by the
+  subarray's *final* row bindings are computed; overwritten
+  intermediates vanish.
+* **Level scheduling** -- surviving majority nodes are grouped into
+  dependence levels; one level replays as a single fancy-indexed
+  gather, one vectorized three-way majority over all nodes in the
+  level, and one contiguous scatter -- no per-op Python loop.
+
+Replay is *bit-exact* against the interpreted path, including the
+don't-care tail bits of the last packed word, because every fold above
+is a per-bit identity and the executed word operations are the same
+ones the interpreter would have issued.  Command accounting is exact
+too: the trace carries the program's precomputed AAP/AP/activation
+totals, so ``measured_ops``, ``stats()`` and the serving telemetry
+cannot tell which path ran.
+
+Fusion applies only when the fault model is inert: fault injection is
+defined per *activation* (one ``FaultModel.corrupt`` draw per sensed
+row in program order), which a fused trace by construction does not
+perform.  An active fault model falls back to the interpreted per-op
+path, preserving the seeded fault-stream parity contract with the
+bit-level backend.  :func:`fusion_disabled` is the explicit escape
+hatch (benchmark baselines, differential tests).
+
+>>> from repro.isa.microprogram import MicroProgram, aap, ap
+>>> from repro.dram.wordline import WordlineSubarray
+>>> sa = WordlineSubarray(n_data_rows=2, n_cols=8)
+>>> prog = MicroProgram("and", (aap(0, "B8"), aap("C0", "B9"),
+...                             aap(1, "B2"), ap("B12"), aap("B2", 1)))
+>>> trace = compile_trace(prog, sa.resolve)
+>>> trace.n_nodes, trace.n_aap, trace.n_ap       # one surviving MAJ
+(1, 4, 1)
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from repro.dram.ambit import _C0, _C1
+
+__all__ = ["CompiledTrace", "TraceScratch", "compile_trace",
+           "fusion_enabled", "fusion_disabled"]
+
+#: A value reference: (SSA value id, complemented).
+_Ref = Tuple[int, bool]
+
+#: Row width (in 64-bit words) above which replay switches from the
+#: level-batched gather strategy to per-node view execution: narrow
+#: rows are NumPy-call-overhead bound (batch them), wide rows are
+#: memory-bandwidth bound (avoid the gather copies).
+_NODE_EXEC_WORDS = 256
+
+#: Process-wide fusion switch (see :func:`fusion_disabled`).
+_fusion_on = True
+
+
+def fusion_enabled() -> bool:
+    """Whether fault-free μProgram replay may use compiled traces."""
+    return _fusion_on
+
+
+@contextmanager
+def fusion_disabled():
+    """Temporarily force the interpreted per-op path.
+
+    The differential escape hatch: parity tests and the trace-fusion
+    benchmark run the same programs with and without fusion and pin the
+    results (cell states *and* counters) identical.
+
+    >>> with fusion_disabled():
+    ...     fusion_enabled()
+    False
+    >>> fusion_enabled()
+    True
+    """
+    global _fusion_on
+    previous = _fusion_on
+    _fusion_on = False
+    try:
+        yield
+    finally:
+        _fusion_on = previous
+
+
+@dataclass(frozen=True)
+class _Level:
+    """One dependence level: ``hi - lo`` independent majority nodes.
+
+    ``idx[3 * L]`` holds the flat operand slot of each node's three
+    inputs (operand polarity is encoded in the slot id -- a complement
+    lives ``n_slots`` above its value), and the outputs land
+    contiguously in slots ``[lo, hi)``.  The first ``n_mirror`` nodes
+    of the level are used complemented somewhere downstream, so their
+    mirror slots are materialized with a single prefix invert.
+    """
+
+    lo: int
+    hi: int
+    idx: np.ndarray
+    n_mirror: int
+
+
+class TraceScratch:
+    """Replay scratch shared by every compiled trace of one subarray.
+
+    One growable pair of buffers -- value slots (``vals``) and
+    auxiliary rows (gather/temporary/readout, ``aux``) -- serves every
+    trace the owning subarray replays, so a subarray's scratch
+    footprint is one buffer set, not one per cached trace.  Buffers
+    only ever grow; ``version`` bumps on every (re)allocation so traces
+    know to rebuild their precomputed views.
+    """
+
+    __slots__ = ("version", "n_words", "cap_slots", "cap_aux", "vals",
+                 "aux")
+
+    def __init__(self):
+        self.version = 0
+        self.n_words = -1
+        self.cap_slots = 0
+        self.cap_aux = 0
+        self.vals = None
+        self.aux = None
+
+    def ensure(self, n_slots: int, n_aux: int, n_words: int) -> None:
+        """Grow the buffers to cover a trace's requirements."""
+        if (n_words == self.n_words and n_slots <= self.cap_slots
+                and n_aux <= self.cap_aux):
+            return
+        self.cap_slots = max(self.cap_slots, 64,
+                             1 << (max(n_slots, 1) - 1).bit_length())
+        self.cap_aux = max(self.cap_aux, 16,
+                           1 << (max(n_aux, 1) - 1).bit_length())
+        self.n_words = n_words
+        self.vals = np.empty((self.cap_slots, n_words), np.uint64)
+        self.aux = np.empty((self.cap_aux, n_words), np.uint64)
+        self.version += 1
+
+
+@dataclass(eq=False)
+class CompiledTrace:
+    """A μProgram lowered to level-scheduled batched word operations.
+
+    Execution staging: one gather of the live input rows into the value
+    buffer, one batched majority step per dependence level, one final
+    scatter of surviving row bindings back into the cell matrix.  The
+    value buffer is mirrored -- slot ``n_slots + s`` holds the
+    complement of slot ``s`` (materialized lazily, only for values some
+    consumer reads negated) -- so DCC port polarity costs an index, not
+    an XOR pass.  Every view the replay loop touches is precomputed
+    into a shared :class:`TraceScratch`, and every word operation
+    writes into preallocated ``out=`` buffers: a replay allocates
+    nothing on the hot path.
+
+    Counter totals (``n_aap``, ``n_ap``, ``n_activations``,
+    ``n_multi``) replicate exactly what the interpreted path would have
+    accrued.
+    """
+
+    input_rows: np.ndarray           # gathered into slots [0, n_inputs)
+    n_input_mirror: int              # prefix of inputs used complemented
+    n_slots: int
+    levels: Tuple[_Level, ...]
+    out_rows: np.ndarray             # cells[rows] <- vals[slots]
+    out_slots: np.ndarray            # (polarity encoded in the slot id)
+    n_aap: int
+    n_ap: int
+    n_activations: int
+    n_multi: int
+
+    def __post_init__(self):
+        self._plan = None            # cached views into a TraceScratch
+        self._own_scratch = None     # fallback when none is supplied
+
+    @property
+    def n_inputs(self) -> int:
+        return int(self.input_rows.size)
+
+    @property
+    def n_nodes(self) -> int:
+        """Majority nodes surviving folding + dead-write elimination."""
+        return self.n_slots - self.n_inputs
+
+    @property
+    def n_levels(self) -> int:
+        return len(self.levels)
+
+    def _build_plan(self, scratch: TraceScratch, n_words: int) -> tuple:
+        """Width-specialized replay plan: all views precomputed.
+
+        Two strategies, chosen by row width:
+
+        * **narrow rows** (call-overhead bound): each dependence level
+          executes as one fancy-indexed gather plus one four-call
+          vectorized majority over all its nodes;
+        * **wide rows** (``>= _NODE_EXEC_WORDS``, bandwidth bound):
+          each node executes on direct row *views* of the value buffer
+          -- no gather copies at all, operand reads stream straight
+          from the slots.
+        """
+        batched = n_words < _NODE_EXEC_WORDS
+        width_max = max([1] + [level.hi - level.lo
+                               for level in self.levels])
+        n_out = self.out_rows.size
+        n_aux = (5 * width_max + n_out) if batched else (2 + n_out)
+        scratch.ensure(2 * self.n_slots, n_aux, n_words)
+        vals, aux = scratch.vals, scratch.aux
+        mirror = self.n_slots
+        steps = []
+        if batched:
+            gather = aux[:3 * width_max]
+            t1 = aux[3 * width_max:4 * width_max]
+            t2 = aux[4 * width_max:5 * width_max]
+            out = aux[5 * width_max:5 * width_max + n_out]
+            for level in self.levels:
+                lo, hi = level.lo, level.hi
+                width = hi - lo
+                g = gather[:3 * width]
+                m = level.n_mirror
+                steps.append((
+                    level.idx, g, g[:width], g[width:2 * width],
+                    g[2 * width:], t1[:width], t2[:width], vals[lo:hi],
+                    vals[lo:lo + m] if m else None,
+                    vals[mirror + lo:mirror + lo + m] if m else None))
+        else:
+            u, v = aux[0], aux[1]
+            out = aux[2:2 + n_out]
+            for level in self.levels:
+                lo, width = level.lo, level.hi - level.lo
+                idx = level.idx
+                for j in range(width):
+                    steps.append((
+                        vals[idx[j]], vals[idx[width + j]],
+                        vals[idx[2 * width + j]], u, v, vals[lo + j],
+                        vals[mirror + lo + j]
+                        if j < level.n_mirror else None))
+        n_in = self.input_rows.size
+        im = self.n_input_mirror
+        plan = (scratch, scratch.version, batched, vals, vals[:n_in],
+                vals[:im] if im else None,
+                vals[mirror:mirror + im] if im else None,
+                tuple(steps), out)
+        self._plan = plan
+        return plan
+
+    def execute(self, cells: np.ndarray,
+                scratch: TraceScratch = None) -> None:
+        """Replay the trace against a packed ``uint64`` cell matrix."""
+        if scratch is None:
+            if self._own_scratch is None:
+                self._own_scratch = TraceScratch()
+            scratch = self._own_scratch
+        plan = self._plan
+        if (plan is None or plan[0] is not scratch
+                or plan[1] != scratch.version
+                or scratch.n_words != cells.shape[1]):
+            plan = self._build_plan(scratch, cells.shape[1])
+        _, _, batched, vals, in_dst, im_src, im_dst, steps, out = plan
+        take, and_, or_, invert = (np.take, np.bitwise_and,
+                                   np.bitwise_or, np.invert)
+        if in_dst.shape[0]:
+            take(cells, self.input_rows, axis=0, out=in_dst)
+        if im_dst is not None:
+            invert(im_src, out=im_dst)
+        if batched:
+            for idx, g, a, b, c, u, v, dst, m_src, m_dst in steps:
+                take(vals, idx, axis=0, out=g)
+                # MAJ3 in four ufunc calls: (a & (b | c)) | (b & c).
+                or_(b, c, out=u)
+                and_(a, u, out=u)
+                and_(b, c, out=v)
+                or_(u, v, out=dst)
+                if m_dst is not None:
+                    invert(m_src, out=m_dst)
+        else:
+            for a, b, c, u, v, dst, m_dst in steps:
+                or_(b, c, out=u)
+                and_(a, u, out=u)
+                and_(b, c, out=v)
+                or_(u, v, out=dst)
+                if m_dst is not None:
+                    invert(dst, out=m_dst)
+        if out.shape[0]:
+            take(vals, self.out_slots, axis=0, out=out)
+            cells[self.out_rows] = out
+
+
+class _Builder:
+    """Value-numbering walk over a resolved op stream."""
+
+    def __init__(self):
+        # Value defs: ("in", row) or ("maj", a_ref, b_ref, c_ref).
+        self.defs: List[tuple] = []
+        # Current binding of every physical row touched or read.
+        self.current: Dict[int, _Ref] = {}
+        # Initial (trace-entry) input value of each read-before-write row.
+        self.inputs: Dict[int, int] = {}
+
+    # -- values --------------------------------------------------------
+    def read(self, row: int) -> _Ref:
+        ref = self.current.get(row)
+        if ref is None:
+            vid = self.inputs.get(row)
+            if vid is None:
+                vid = len(self.defs)
+                self.defs.append(("in", row))
+                self.inputs[row] = vid
+            ref = (vid, False)
+            self.current[row] = ref
+        return ref
+
+    def const_of(self, ref: _Ref):
+        """0/1 when ``ref`` is a known constant, else ``None``.
+
+        Only trace-entry reads of the C0/C1 control rows are constant:
+        the engine never writes them, and a (pathological) in-trace
+        overwrite simply rebinds the row to a non-constant value.
+        """
+        definition = self.defs[ref[0]]
+        if definition[0] != "in":
+            return None
+        if definition[1] == _C0:
+            return 1 if ref[1] else 0
+        if definition[1] == _C1:
+            return 0 if ref[1] else 1
+        return None
+
+    def maj(self, a: _Ref, b: _Ref, c: _Ref) -> _Ref:
+        """MAJ3 with per-bit-exact folds (identical / complement /
+        two-constant operand pairs); falls back to a new node."""
+        for x, y, z in ((a, b, c), (a, c, b), (b, c, a)):
+            if x == y:
+                return x                      # MAJ(v, v, w) = v
+            if x == (y[0], not y[1]):
+                return z                      # MAJ(v, ~v, w) = w
+            cx, cy = self.const_of(x), self.const_of(y)
+            if cx is not None and cy is not None:
+                return x if cx == cy else z   # MAJ(k, k, w)=k; (0,1,w)=w
+        vid = len(self.defs)
+        self.defs.append(("maj", a, b, c))
+        return (vid, False)
+
+    def write(self, row: int, ref: _Ref, negated: bool) -> None:
+        self.current[row] = (ref[0], ref[1] ^ negated)
+
+
+def compile_trace(program, resolve: Callable) -> CompiledTrace:
+    """Lower ``program`` (via ``resolve``: address -> port tuples) into a
+    :class:`CompiledTrace`.
+
+    ``resolve`` is the word backend's address map
+    (:meth:`~repro.dram.wordline.WordlineSubarray.resolve`): it returns
+    ``((physical_row, negated), ...)`` port tuples.  Compilation mirrors
+    the interpreted fault-free semantics op by op -- single-port senses
+    are pure reads, multi-row senses are destructive majorities written
+    back through every activated port, AAP destinations latch the
+    sensed value through each port's polarity.
+    """
+    builder = _Builder()
+    n_aap = n_ap = n_multi = 0
+    for op in program.ops:
+        src_ports = resolve(op.src)
+        if len(src_ports) == 1:
+            row, neg = src_ports[0]
+            ref = builder.read(row)
+            sensed = (ref[0], ref[1] ^ neg)
+        else:
+            if len(src_ports) % 2 == 0:
+                raise ValueError(
+                    "simultaneous activation needs an odd row count for "
+                    "a defined majority; use an AAP destination for "
+                    "copies")
+            operands = []
+            for row, neg in src_ports[:3]:
+                ref = builder.read(row)
+                operands.append((ref[0], ref[1] ^ neg))
+            sensed = builder.maj(*operands)
+            n_multi += 1
+            # Destructive write-back through every activated port.
+            for row, neg in src_ports:
+                builder.write(row, sensed, neg)
+        if op.kind == "AAP":
+            for row, neg in resolve(op.dst):
+                builder.write(row, sensed, neg)
+            n_aap += 1
+        else:
+            n_ap += 1
+
+    # Final bindings: skip identity (row still holds its own entry value).
+    finals: Dict[int, _Ref] = {}
+    for row, ref in builder.current.items():
+        if builder.defs[ref[0]] == ("in", row) and not ref[1]:
+            continue
+        finals[row] = ref
+
+    # Dead-write elimination: walk back from the final bindings.
+    live = set()
+    stack = [ref[0] for ref in finals.values()]
+    while stack:
+        vid = stack.pop()
+        if vid in live:
+            continue
+        live.add(vid)
+        definition = builder.defs[vid]
+        if definition[0] == "maj":
+            stack.extend(ref[0] for ref in definition[1:])
+
+    # Which live values does some consumer read complemented?  Their
+    # mirror slots must be materialized at replay.
+    mirrored = {ref[0] for ref in finals.values() if ref[1]}
+    for vid in live:
+        definition = builder.defs[vid]
+        if definition[0] == "maj":
+            mirrored.update(ref[0] for ref in definition[1:] if ref[1])
+
+    # Slot assignment: live inputs first (mirror-needing prefix), then
+    # nodes by (level, mirror-needing first) so each level's mirrors
+    # materialize with one contiguous prefix invert.
+    slot: Dict[int, int] = {}
+    input_vids = [vid for vid in sorted(live)
+                  if builder.defs[vid][0] == "in"]
+    input_vids.sort(key=lambda vid: vid not in mirrored)
+    input_rows = [builder.defs[vid][1] for vid in input_vids]
+    for position, vid in enumerate(input_vids):
+        slot[vid] = position
+    n_input_mirror = sum(1 for vid in input_vids if vid in mirrored)
+    depth: Dict[int, int] = {vid: 0 for vid in slot}
+    by_level: Dict[int, List[int]] = {}
+    for vid in sorted(live):                     # creation = program order
+        definition = builder.defs[vid]
+        if definition[0] != "maj":
+            continue
+        level = 1 + max(depth[ref[0]] for ref in definition[1:])
+        depth[vid] = level
+        by_level.setdefault(level, []).append(vid)
+    next_slot = len(input_rows)
+    level_specs: List[List[int]] = []
+    for level in sorted(by_level):
+        vids = sorted(by_level[level], key=lambda vid: vid not in mirrored)
+        lo = next_slot
+        for vid in vids:
+            slot[vid] = next_slot
+            next_slot += 1
+        n_mirror = sum(1 for vid in vids if vid in mirrored)
+        level_specs.append((lo, next_slot, n_mirror, vids))
+
+    def flat_slot(ref: _Ref) -> int:
+        """Operand slot with polarity encoded (+n_slots = complement)."""
+        return slot[ref[0]] + (next_slot if ref[1] else 0)
+
+    levels: List[_Level] = []
+    for lo, hi, n_mirror, vids in level_specs:
+        idx = np.empty(3 * len(vids), dtype=np.intp)
+        for j, vid in enumerate(vids):
+            for i, ref in enumerate(builder.defs[vid][1:]):
+                idx[i * len(vids) + j] = flat_slot(ref)
+        levels.append(_Level(lo, hi, idx, n_mirror))
+
+    out_rows = np.asarray(sorted(finals), dtype=np.intp)
+    out_slots = np.asarray([flat_slot(finals[row]) for row in out_rows],
+                           dtype=np.intp)
+
+    return CompiledTrace(
+        input_rows=np.asarray(input_rows, dtype=np.intp),
+        n_input_mirror=n_input_mirror,
+        n_slots=next_slot,
+        levels=tuple(levels),
+        out_rows=out_rows,
+        out_slots=out_slots,
+        n_aap=n_aap,
+        n_ap=n_ap,
+        n_activations=2 * n_aap + n_ap,
+        n_multi=n_multi)

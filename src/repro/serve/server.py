@@ -283,6 +283,9 @@ class Server:
                 n_banks=plan.wave_banks,
                 nominal_ops=2.0 * xs.shape[0] * plan.k * plan.n,
                 evictions=self.registry.stats.evictions - ev_before,
+                trace_compiles=(after.trace_compiles
+                                - before.trace_compiles),
+                trace_replays=after.trace_replays - before.trace_replays,
                 timing=self.timing, energy=self.energy)
         except BaseException as exc:          # noqa: BLE001 - to futures
             for pending in live:

@@ -48,6 +48,13 @@ class ExecutionReport:
     n_banks:
         Bank-level parallelism the wave's command stream was spread
         over (the plan's leased banks), which sets the AAP issue rate.
+    trace_compiles / trace_replays:
+        The wave's fused-trace cache activity on the word backend
+        (deltas of the plan's counters): programs lowered to compiled
+        traces vs. traces re-executed from cache.  A steady-state query
+        against a warm plan replays only; compiles indicate cold
+        programs (new magnitudes, re-plans).  Both are zero on the bit
+        backend and under active fault models, which bypass fusion.
     cost:
         The wave's :class:`~repro.perf.metrics.CostReport` built by
         :func:`~repro.perf.metrics.measured_cost` -- latency from
@@ -74,6 +81,8 @@ class ExecutionReport:
     dynamic_energy_j: float
     query_energy_j: float
     evictions: int = 0
+    trace_compiles: int = 0
+    trace_replays: int = 0
 
     @property
     def coalesced(self) -> bool:
@@ -94,6 +103,7 @@ class ExecutionReport:
     def from_measured(cls, model: str, batch_size: int, measured_ops: int,
                       broadcasts: int, n_banks: int,
                       nominal_ops: float = 0.0, evictions: int = 0,
+                      trace_compiles: int = 0, trace_replays: int = 0,
                       timing: TimingParams = DDR5_4400_TIMING,
                       energy: Optional[EnergyModel] = None
                       ) -> "ExecutionReport":
@@ -111,4 +121,6 @@ class ExecutionReport:
                    cost=cost,
                    dynamic_energy_j=energy.dynamic_energy_j(measured_ops),
                    query_energy_j=cost.energy_j / batch_size,
-                   evictions=int(evictions))
+                   evictions=int(evictions),
+                   trace_compiles=int(trace_compiles),
+                   trace_replays=int(trace_replays))

@@ -14,6 +14,7 @@ import repro.core.kary
 import repro.device
 import repro.dram.wordline
 import repro.engine.cluster
+import repro.isa.trace
 import repro.kernels.bitslice
 import repro.kernels.gemm
 import repro.kernels.gemv
@@ -28,7 +29,7 @@ import repro.util
 
 @pytest.mark.parametrize("module", [
     repro.util, repro.core.kary, repro.kernels.bitslice,
-    repro.dram.wordline, repro.engine.cluster,
+    repro.dram.wordline, repro.engine.cluster, repro.isa.trace,
     repro.kernels.gemv, repro.kernels.gemm,
     repro.kernels.lowering, repro.device, repro.perf.metrics,
     repro.serve.pool, repro.serve.registry, repro.serve.server,
