@@ -15,6 +15,10 @@ import pathlib
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+#: The repo-root perf-trajectory collector scans for ``BENCH_*.json``
+#: at the repository root, so every benchmark document is mirrored
+#: there as well as archived under ``benchmarks/results/``.
+REPO_ROOT = pathlib.Path(__file__).parent.parent
 
 
 @pytest.fixture
@@ -39,7 +43,11 @@ def record_bench_json():
     <exp> --json`` emits -- ``{"experiments": [{experiment_id, title,
     rows, notes, name, seconds}]}`` with native-Python row values -- so
     the CI smoke jobs and any tooling that already consumes runner
-    output can track benchmark trajectories the same way.
+    output can track benchmark trajectories the same way.  Each
+    document lands in ``benchmarks/results/`` *and* is mirrored to a
+    root-level ``BENCH_<name>.json`` -- the repo-root perf-trajectory
+    collector only scans the root, so results-dir-only records would
+    leave the trajectory empty.
     """
     def _record(name, title, rows, notes=(), seconds=None):
         def _native(value):
@@ -54,9 +62,11 @@ def record_bench_json():
             "seconds": (None if seconds is None
                         else round(float(seconds), 3)),
         }]}
+        text = json.dumps(document, indent=2) + "\n"
         RESULTS_DIR.mkdir(exist_ok=True)
         path = RESULTS_DIR / f"BENCH_{name}.json"
-        path.write_text(json.dumps(document, indent=2) + "\n")
+        path.write_text(text)
+        (REPO_ROOT / f"BENCH_{name}.json").write_text(text)
         return path
     return _record
 

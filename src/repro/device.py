@@ -156,7 +156,11 @@ class PlanStats:
     ``resident_rows`` is the number of planted mask-row images (binary:
     one per Z row; ternary: both sign orientations per row), and
     ``parks`` / ``unparks`` count eviction round-trips through the
-    counter-image relocation path.
+    counter-image relocation path, and ``injected_faults`` is the
+    monotonic count of fault-model bit flips the plan's engines
+    injected (zero for fault-free configs; identical whether the word
+    backend replayed fused fault traces or interpreted) -- serve
+    telemetry reports its per-query delta.
     """
 
     queries: int = 0
@@ -170,6 +174,7 @@ class PlanStats:
     unparks: int = 0
     trace_compiles: int = 0
     trace_replays: int = 0
+    injected_faults: int = 0
 
 
 class GemvPlan:
@@ -245,8 +250,9 @@ class GemvPlan:
         self._replans = 0
         self._parks = 0
         self._unparks = 0
-        # ops / prog compiles / prog replays / trace compiles / replays
-        self._retired = np.zeros(5, dtype=np.int64)
+        # ops / prog compiles / prog replays / trace compiles /
+        # trace replays / injected faults
+        self._retired = np.zeros(6, dtype=np.int64)
         # Engines/clusters are built lazily on first use: a plan that
         # only ever sees run_many() never allocates the single-query
         # cluster, and vice versa.
@@ -716,6 +722,23 @@ class GemvPlan:
         return per_slot
 
     # ------------------------------------------------------------------
+    def protection_stats(self):
+        """Aggregate ECC detection/retry stats over the live engines.
+
+        Returns a fresh :class:`~repro.ecc.protection.ProtectionStats`
+        summing every live engine's protection accounting (all zeros
+        when the plan runs unprotected).  Unlike :attr:`stats` this
+        covers *live* engines only -- engines retired by a re-plan or
+        park drop their protection counters -- so reliability campaigns
+        read it per trial, before releasing the plan.
+        """
+        from repro.ecc.protection import ProtectionStats
+        total = ProtectionStats()
+        for eng in self._live_engines():
+            if eng.protection is not None:
+                total.merge(eng.protection.stats)
+        return total
+
     @property
     def stats(self) -> PlanStats:
         """Snapshot of this plan's cost counters."""
@@ -734,7 +757,8 @@ class GemvPlan:
                          parks=self._parks,
                          unparks=self._unparks,
                          trace_compiles=int(ops[3]),
-                         trace_replays=int(ops[4]))
+                         trace_replays=int(ops[4]),
+                         injected_faults=int(ops[5]))
 
 
 class GemmPlan:
@@ -758,6 +782,9 @@ class GemmPlan:
     @property
     def stats(self) -> PlanStats:
         return self._gemv.stats
+
+    def protection_stats(self):
+        return self._gemv.protection_stats()
 
     @property
     def is_resident(self) -> bool:

@@ -174,6 +174,16 @@ class AmbitSubarray:
         """Total command sequences (AAP + AP) issued so far."""
         return self.aap_count + self.ap_count
 
+    @property
+    def fault_injections(self) -> int:
+        """Monotonic flips this subarray's activations injected."""
+        return self.array.fault_injections
+
+    @property
+    def fault_model(self):
+        """The injection model every activation routes through."""
+        return self.array.fault_model
+
     def reset_counts(self) -> None:
         self.aap_count = 0
         self.ap_count = 0

@@ -57,6 +57,18 @@ class FaultModel:
         ``contested`` marks columns whose majority was a 2-1 split; when
         the model is margin-aware, unanimous columns of a multi-row
         activation are charged the read rate instead of the CIM rate.
+
+        **Order-preserving RNG contract** (what the fused fault
+        pre-pass in :mod:`repro.isa.trace` relies on): the draws depend
+        only on ``bits.shape`` and the model's knobs, never on the
+        sensed data.  Per activation that is: one ``random(shape)``
+        draw at ``p = p_cim`` (multi-row) or ``p_read`` (single-row)
+        whenever ``p > 0``, plus -- for a margin-aware multi-row
+        activation with ``0 < p_read < p_cim`` -- a second
+        ``random(shape)`` draw at the read rate.  Only the *selection*
+        between the two masks consults ``contested``.  The whole
+        program's draws can thus be taken up front with
+        :meth:`predraw` and applied data-dependently later.
         """
         p = self.p_cim if multi_row else self.p_read
         if p <= 0.0:
@@ -73,7 +85,30 @@ class FaultModel:
         self.injected += int(flips.sum())
         return np.bitwise_xor(bits, flips.astype(bits.dtype))
 
+    def predraw(self, n_draws: int, width: int) -> np.ndarray:
+        """Take ``n_draws`` activation draws of ``width`` lanes at once.
+
+        One ``Generator.random((n_draws, width))`` call consumes the
+        underlying bit stream exactly as ``n_draws`` sequential
+        ``random(width)`` calls would (row ``i`` equals the ``i``-th
+        sequential draw), so a fused replay that pre-draws its whole
+        program leaves the generator in the same state as the
+        interpreted path -- ``tests/test_fault_fusion_parity.py`` pins
+        the equivalence.  Returns the raw uniforms; thresholding
+        against ``p_cim`` / ``p_read`` is the caller's job because the
+        applicable rate varies per draw row.
+        """
+        return self._rng.random((int(n_draws), int(width)))
+
     def reset_counts(self) -> None:
+        """Zero the ``injected`` flip counter.
+
+        Called by ``CountingEngine.reset_counters`` so ``injected`` is
+        a per-scheduler-epoch count (per query under plan reuse) even
+        when several engines share one model; the subarrays' monotonic
+        ``fault_injections`` counters are unaffected and feed the
+        plan/serve per-query telemetry deltas.
+        """
         self.injected = 0
 
 

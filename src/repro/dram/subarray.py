@@ -57,6 +57,9 @@ class Subarray:
         self.precharged = True
         self.activations = 0
         self.multi_row_activations = 0
+        # Monotonic per-subarray flip count (the local view of the
+        # possibly shared ``FaultModel.injected``).
+        self.fault_injections = 0
 
     # ------------------------------------------------------------------
     def _read_port(self, port: Port) -> np.ndarray:
@@ -95,8 +98,10 @@ class Subarray:
             sensed = (ones * 2 > len(ports)).astype(np.uint8)
             # Unanimous columns keep a full sensing margin (Sec. 6.1).
             contested = (ones != 0) & (ones != len(ports))
+        pre = self.fault_model.injected
         sensed = self.fault_model.corrupt(sensed, multi_row=len(ports) > 1,
                                           contested=contested)
+        self.fault_injections += self.fault_model.injected - pre
         for p in ports:
             self._write_port(p, sensed)
         self.row_buffer = sensed.copy()

@@ -8,12 +8,14 @@ and executes each command as a handful of bulk bitwise NumPy operations
 instead of per-bit Python work.
 
 The two backends are *cell-state identical* after every command.  Fault
-injection routes through the very same :class:`~repro.dram.faults.
-FaultModel.corrupt` hook, called once per activation with the same
-sensed bits and the same contested-column flags, so a seeded fault model
-draws an identical random stream on either backend and the simulations
-stay bit-for-bit reproducible (``tests/test_backend_parity.py`` pins
-this).  Timing/energy accounting hooks (``aap_count``, ``ap_count``,
+injection draws the very same :class:`~repro.dram.faults.FaultModel`
+random stream: the interpreted path calls ``corrupt`` once per
+activation with the same sensed bits and contested-column flags as the
+bit backend, and the fused path pre-draws the identical per-activation
+masks in original op order (see :mod:`repro.isa.trace`), so a seeded
+fault model stays bit-for-bit reproducible on any path
+(``tests/test_backend_parity.py`` and
+``tests/test_fault_fusion_parity.py`` pin this).  Timing/energy accounting hooks (``aap_count``, ``ap_count``,
 ``activations``) are maintained identically, so :mod:`repro.perf` and
 :mod:`repro.dram.timing` consumers do not care which backend ran.
 
@@ -65,12 +67,15 @@ _FULL = np.uint64(0xFFFFFFFFFFFFFFFF)
 #: not for memory.
 DEFAULT_PROGRAM_CACHE = 1024
 
-#: Fault-free runs of one program before its trace is compiled: run 1
+#: The run number on which a program's trace is compiled: run 1
 #: interprets (a one-shot program never pays compilation -- the cold
-#: kernel path stays cold-fast), run 2 compiles and fuses, and every
-#: further replay is pure fused execution.  Programs evicted from the
-#: LRU before their second run never compile at all, which keeps cache
-#: thrash no slower than the interpreter.
+#: kernel path stays cold-fast), run ``FUSE_AFTER_RUNS`` compiles and
+#: fuses, and every further replay is pure fused execution.  The JIT
+#: warm-up is therefore exactly **one** interpreted run (pinned by
+#: ``tests/test_fault_fusion_parity.py::test_warmup_interpreted_run_
+#: count``), not ``FUSE_AFTER_RUNS`` interpreted runs.  Programs
+#: evicted from the LRU before their second run never compile at all,
+#: which keeps cache thrash no slower than the interpreter.
 FUSE_AFTER_RUNS = 2
 
 Address = Union[str, int]
@@ -184,6 +189,11 @@ class WordlineSubarray:
         self._trace_scratch = None   # shared replay buffers, lazy
         self.trace_compiles = 0   # cache misses: traces compiled
         self.trace_replays = 0    # cache hits: fused traces re-executed
+        # Monotonic count of fault-model bit flips this subarray's
+        # activations injected (interpreted and fused paths both feed
+        # it) -- the per-subarray view of ``FaultModel.injected``,
+        # which plans/serve telemetry take per-query deltas of.
+        self.fault_injections = 0
 
     # ------------------------------------------------------------------
     # addressing
@@ -238,8 +248,10 @@ class WordlineSubarray:
             bits = unpack_bits(sensed, self.n_cols)
             cont_bits = (unpack_bits(contested, self.n_cols).astype(bool)
                          if multi else None)
+            pre = self.fault_model.injected
             bits = self.fault_model.corrupt(bits, multi_row=multi,
                                             contested=cont_bits)
+            self.fault_injections += self.fault_model.injected - pre
             sensed = pack_bits(bits)
         if multi or faulty:
             # Destructive write-back through every activated port; for a
@@ -268,7 +280,7 @@ class WordlineSubarray:
         self.ap_count += 1
 
     def _lookup_program(self, program) -> list:
-        """LRU-cached ``[program, resolved ops, trace, runs]`` entry."""
+        """LRU-cached ``[program, ops, trace, runs, fault sig]`` entry."""
         key = id(program)
         entry = self._compiled.get(key)
         if entry is not None and entry[0] is program:
@@ -278,7 +290,7 @@ class WordlineSubarray:
             (op.kind == "AAP", self.resolve(op.src),
              self.resolve(op.dst) if op.kind == "AAP" else None)
             for op in program.ops)
-        entry = [program, ops, None, 0]
+        entry = [program, ops, None, 0, None]
         self._compiled[key] = entry
         self._compiled.move_to_end(key)
         while len(self._compiled) > self._program_cache_size:
@@ -290,43 +302,54 @@ class WordlineSubarray:
 
         Programs are compiled once to resolved port tuples and cached
         (bounded LRU, identity-keyed), so replaying the same
-        (engine-cached) program skips all address resolution.  When the
-        fault model is inert, replay goes further: the program is
-        lowered once by :func:`repro.isa.trace.compile_trace` into a
-        level-scheduled fused trace and re-executed as a handful of
-        batched fancy-indexed NumPy operations -- no per-op Python loop
-        at all.  Cell states and every counter (``aap_count``,
-        ``ap_count``, ``activations``, ``multi_row_activations``) are
-        exactly what the interpreted path would produce; an active
-        fault model always takes the interpreted path so the seeded
-        fault stream stays bit-identical to the bit-level backend.
+        (engine-cached) program skips all address resolution.  Replay
+        goes further after a one-interpreted-run JIT warm-up: the
+        program is lowered once by :func:`repro.isa.trace.
+        compile_trace` into a fused trace and re-executed as batched
+        NumPy operations -- no per-op Python loop at all.  An *active*
+        fault model fuses too: the trace is compiled against the
+        model's :class:`~repro.isa.trace.FaultSpec` and each replay
+        runs the fault pre-pass (flip masks pre-drawn in original op
+        order) so cell states, every counter (``aap_count``,
+        ``ap_count``, ``activations``, ``multi_row_activations``,
+        ``fault_injections``) *and the seeded fault stream* are exactly
+        what the interpreted path -- and the bit-level backend -- would
+        produce.  If the model's rates or margin flag change under a
+        cached trace, the trace is recompiled against the new regime.
         """
         entry = self._lookup_program(program)
-        faulty = (self.fault_model.p_cim > 0.0
-                  or self.fault_model.p_read > 0.0)
-        if not faulty:
-            trace = _trace_module()
-            if trace.fusion_enabled():
-                compiled = entry[2]
-                if compiled is None:
-                    # JIT warm-up: interpret until the program proves
-                    # hot (FUSE_AFTER_RUNS), then compile once.
-                    entry[3] += 1
-                    if entry[3] >= FUSE_AFTER_RUNS:
-                        compiled = entry[2] = trace.compile_trace(
-                            program, self.resolve)
-                        self.trace_compiles += 1
+        trace = _trace_module()
+        if trace.fusion_enabled():
+            fm = self.fault_model
+            spec = trace.FaultSpec.of(fm)
+            compiled = entry[2]
+            if compiled is not None and entry[4] != spec:
+                compiled = entry[2] = None    # fault regime changed
+            if compiled is None:
+                # JIT warm-up: interpret run 1, compile once on run
+                # FUSE_AFTER_RUNS (exactly one interpreted run).
+                entry[3] += 1
+                if entry[3] >= FUSE_AFTER_RUNS:
+                    compiled = entry[2] = trace.compile_trace(
+                        program, self.resolve, fault=spec)
+                    entry[4] = spec
+                    self.trace_compiles += 1
+            else:
+                self.trace_replays += 1
+            if compiled is not None:
+                if self._trace_scratch is None:
+                    self._trace_scratch = trace.TraceScratch()
+                if compiled.faulty:
+                    self.fault_injections += compiled.execute(
+                        self.cells, self._trace_scratch,
+                        fault_model=fm, n_cols=self.n_cols)
                 else:
-                    self.trace_replays += 1
-                if compiled is not None:
-                    if self._trace_scratch is None:
-                        self._trace_scratch = trace.TraceScratch()
                     compiled.execute(self.cells, self._trace_scratch)
-                    self.aap_count += compiled.n_aap
-                    self.ap_count += compiled.n_ap
-                    self.activations += compiled.n_activations
-                    self.multi_row_activations += compiled.n_multi
-                    return
+                self.aap_count += compiled.n_aap
+                self.ap_count += compiled.n_ap
+                self.activations += compiled.n_activations
+                self.multi_row_activations += compiled.n_multi
+                return
         cells = self.cells
         for is_aap, src_ports, dst_ports in entry[1]:
             sensed = self._sense(src_ports)

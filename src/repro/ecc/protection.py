@@ -30,12 +30,30 @@ class RetryExhaustedError(RuntimeError):
 
 @dataclass
 class ProtectionStats:
-    """Detection/retry accounting for overhead reporting."""
+    """Detection/retry accounting for overhead reporting.
+
+    ``detections`` counts syndrome checks that tripped, ``retries``
+    block re-executions; ``corrected`` counts *blocks* that failed at
+    least one check and then re-executed to a clean validation, and
+    ``exhausted`` blocks that burned every retry without validating
+    (the reliability campaigns report these outcome-level numbers).
+    """
 
     blocks: int = 0
     checks: int = 0
     detections: int = 0
     retries: int = 0
+    corrected: int = 0
+    exhausted: int = 0
+
+    def merge(self, other: "ProtectionStats") -> "ProtectionStats":
+        """Accumulate ``other``'s counters into this one (all fields,
+        by introspection, so aggregators never trail new counters)."""
+        from dataclasses import fields
+        for f in fields(self):
+            setattr(self, f.name,
+                    getattr(self, f.name) + getattr(other, f.name))
+        return self
 
     @property
     def retry_overhead(self) -> float:
@@ -124,7 +142,10 @@ class CIMProtection:
         for attempt in range(max_retries):
             execute_block()
             if validate():
+                if attempt:
+                    self.stats.corrected += 1
                 return attempt
             self.stats.retries += 1
+        self.stats.exhausted += 1
         raise RetryExhaustedError(
             f"protected block failed {max_retries} consecutive checks")

@@ -58,7 +58,11 @@ class EngineCounters(NamedTuple):
     ``trace_compiles`` / ``trace_replays`` split the word backend's
     fused-trace cache the same way ``prog_compiles`` / ``prog_replays``
     split the μProgram cache; both stay zero on the bit backend (which
-    never fuses) and under active fault models (which bypass fusion).
+    never fuses).  ``injected_faults`` is the monotonic count of fault-
+    model bit flips this engine's subarray injected (identical on the
+    interpreted and fused paths) -- the serving telemetry reports its
+    per-query delta, and ``FaultModel.injected`` itself resets each
+    scheduler epoch.
     """
 
     measured_ops: int
@@ -66,6 +70,7 @@ class EngineCounters(NamedTuple):
     prog_replays: int
     trace_compiles: int = 0
     trace_replays: int = 0
+    injected_faults: int = 0
 
 
 class CountingEngine:
@@ -156,12 +161,13 @@ class CountingEngine:
         self.max_retries = max_retries
         self.model_ops = 0       # paper-formula op accounting
         self._flushed = True
-        # Static part of the macro-fusion predicate (backend, faults
-        # and protection are fixed at construction; only the process-
-        # wide fusion switch is re-checked per batch).
-        self._fusable = (self.backend == "word" and not self.fr_checks
-                         and fault_model.p_cim == 0.0
-                         and fault_model.p_read == 0.0)
+        # Static part of the macro-fusion predicate (backend and
+        # protection are fixed at construction; only the process-wide
+        # fusion switch is re-checked per batch).  An active fault
+        # model does NOT disable fusion: the word backend compiles
+        # fault-aware traces whose pre-drawn flip masks preserve the
+        # seeded stream exactly.
+        self._fusable = self.backend == "word" and not self.fr_checks
 
     # ------------------------------------------------------------------
     # operand staging
@@ -200,6 +206,12 @@ class CountingEngine:
         # Zeroed rows mean no outstanding carries anywhere: the next
         # read needs no flush and the scheduler restarts tight.
         self.scheduler.reset()
+        # The fault model's flip counter is per scheduler epoch: plan
+        # reuse and shared models would otherwise accumulate it without
+        # bound.  The subarray's monotonic ``fault_injections`` (and
+        # ``EngineCounters.injected_faults``) are deliberately NOT
+        # reset -- telemetry takes deltas of those.
+        self.subarray.fault_model.reset_counts()
         self._flushed = True
 
     # ------------------------------------------------------------------
@@ -405,13 +417,14 @@ class CountingEngine:
         return prog
 
     def _can_fuse_batch(self) -> bool:
-        """Macro-fusion applies on the fault-free, unprotected word path.
+        """Macro-fusion applies on the unprotected word path.
 
         Exactly the conditions under which the subarray itself would
-        fuse each program: an active fault model (which must draw its
-        per-activation random stream in interpreted order) or ECC
-        protection (which interleaves host reads and retries between
-        ops) falls back to per-event execution, as does an explicit
+        fuse each program -- active fault models included, since the
+        fault pre-pass draws the per-activation random stream in
+        original op order.  ECC protection (which interleaves host
+        reads and retries between ops) falls back to per-event
+        execution, as does an explicit
         :func:`repro.isa.trace.fusion_disabled` scope.
         """
         return self._fusable and fusion_enabled()
@@ -420,7 +433,8 @@ class CountingEngine:
                        mask_index: int = 0) -> None:
         """Run scheduler events against the subarray.
 
-        On the fault-free word path the whole batch is fused into one
+        On the unprotected word path (fault-injected or not) the whole
+        batch is fused into one
         concatenated μProgram (see :meth:`_fused_batch_program`) and
         replayed as a single compiled trace; otherwise events execute
         one by one.  Cell states and AAP/AP/activation accounting are
@@ -540,7 +554,8 @@ class CountingEngine:
         return EngineCounters(self.measured_ops, self.prog_compiles,
                               self.prog_replays,
                               self.subarray.trace_compiles,
-                              self.subarray.trace_replays)
+                              self.subarray.trace_replays,
+                              self.subarray.fault_injections)
 
     @property
     def measured_ops(self) -> int:

@@ -33,12 +33,19 @@ too: the trace carries the program's precomputed AAP/AP/activation
 totals, so ``measured_ops``, ``stats()`` and the serving telemetry
 cannot tell which path ran.
 
-Fusion applies only when the fault model is inert: fault injection is
-defined per *activation* (one ``FaultModel.corrupt`` draw per sensed
-row in program order), which a fused trace by construction does not
-perform.  An active fault model falls back to the interpreted per-op
-path, preserving the seeded fault-stream parity contract with the
-bit-level backend.  :func:`fusion_disabled` is the explicit escape
+Fusion is *fault-aware*: fault injection is defined per activation --
+one ``FaultModel.corrupt`` draw sequence per sensed row in program
+order -- but ``corrupt`` draws its Bernoulli masks from shapes and
+flags only, never from the sensed data.  A fault trace therefore
+pre-draws the whole program's flip masks in original op order (the
+**fault pre-pass**, one batched ``Generator.random`` call consuming
+exactly the stream the interpreter would) and applies them per node
+during replay; only the margin-aware *selection* between the CIM and
+read-rate masks is data-dependent, and that is computed from the
+sensed words at replay time.  Replay under an active fault model is
+therefore bit-, counter- and fault-stream-identical to the interpreted
+path and to the bit-level backend (``tests/test_fault_fusion_parity.
+py`` pins all three).  :func:`fusion_disabled` is the explicit escape
 hatch (benchmark baselines, differential tests).
 
 >>> from repro.isa.microprogram import MicroProgram, aap, ap
@@ -61,8 +68,9 @@ import numpy as np
 
 from repro.dram.ambit import _C0, _C1
 
-__all__ = ["CompiledTrace", "TraceScratch", "compile_trace",
-           "fusion_enabled", "fusion_disabled"]
+__all__ = ["CompiledTrace", "CompiledFaultTrace", "FaultSpec",
+           "TraceScratch", "compile_trace", "fusion_enabled",
+           "fusion_disabled"]
 
 #: A value reference: (SSA value id, complemented).
 _Ref = Tuple[int, bool]
@@ -75,6 +83,18 @@ _NODE_EXEC_WORDS = 256
 
 #: Process-wide fusion switch (see :func:`fusion_disabled`).
 _fusion_on = True
+
+# repro.dram.wordline transitively imports this module, so its packing
+# helper is resolved lazily at the first fault replay and cached.
+_pack_rows = None
+
+
+def _packer():
+    global _pack_rows
+    if _pack_rows is None:
+        from repro.dram.wordline import pack_rows
+        _pack_rows = pack_rows
+    return _pack_rows
 
 
 def fusion_enabled() -> bool:
@@ -103,6 +123,64 @@ def fusion_disabled():
         yield
     finally:
         _fusion_on = previous
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Static fault-regime signature a fault trace is compiled against.
+
+    Captures exactly the :class:`~repro.dram.faults.FaultModel` fields
+    that shape ``corrupt``'s *draw sequence* (rates and margin
+    awareness) -- everything else about injection is either structural
+    (which activations sense multiple rows) or data-dependent and
+    resolved at replay.  The subarray re-derives the spec on every
+    ``run_program`` call and recompiles if the model's knobs moved
+    under a cached trace.
+
+    >>> from repro.dram.faults import FaultModel
+    >>> FaultSpec.of(FaultModel(p_cim=1e-2)).active
+    True
+    >>> FaultSpec.of(FaultModel()) is None
+    True
+    """
+
+    p_cim: float
+    p_read: float
+    margin_aware: bool
+
+    @classmethod
+    def of(cls, fault_model) -> "FaultSpec | None":
+        """The model's spec, or ``None`` when it can never flip a bit."""
+        if fault_model.p_cim <= 0.0 and fault_model.p_read <= 0.0:
+            return None
+        return cls(float(fault_model.p_cim), float(fault_model.p_read),
+                   bool(fault_model.margin_aware))
+
+    @property
+    def active(self) -> bool:
+        return self.p_cim > 0.0 or self.p_read > 0.0
+
+    @property
+    def multi_mode(self) -> "str | None":
+        """How a multi-row activation's flip mask is built.
+
+        Mirrors the branch structure of ``FaultModel.corrupt`` exactly:
+
+        * ``None`` -- ``p_cim == 0``: multi-row senses are exact (no
+          draw, no flips);
+        * ``"all"`` -- one CIM draw flips unconditionally (margin
+          awareness off, or ``p_read >= p_cim``);
+        * ``"contested"`` -- margin-aware with ``p_read == 0``: one CIM
+          draw, applied only to contested columns;
+        * ``"select"`` -- margin-aware with ``0 < p_read < p_cim``:
+          a CIM draw *and* a read-rate draw, selected per column by the
+          contested flags computed from the sensed words.
+        """
+        if self.p_cim <= 0.0:
+            return None
+        if not self.margin_aware or self.p_read >= self.p_cim:
+            return "all"
+        return "select" if self.p_read > 0.0 else "contested"
 
 
 @dataclass(frozen=True)
@@ -190,6 +268,10 @@ class CompiledTrace:
     n_ap: int
     n_activations: int
     n_multi: int
+
+    #: Dispatch tag for ``WordlineSubarray.run_program`` (fault traces
+    #: carry ``faulty = True`` and take the fault model at replay).
+    faulty = False
 
     def __post_init__(self):
         self._plan = None            # cached views into a TraceScratch
@@ -308,6 +390,160 @@ class CompiledTrace:
             cells[self.out_rows] = out
 
 
+@dataclass(eq=False)
+class CompiledFaultTrace:
+    """A μProgram lowered for replay under an *active* fault model.
+
+    Differences from the fault-free :class:`CompiledTrace`:
+
+    * **No folding of faulty activations.**  Every multi-row sense
+      (when ``p_cim > 0``) and every single-port sense (when
+      ``p_read > 0``) yields fresh randomness, so each becomes a real
+      node whose output is the ideal value XOR its flip mask; the
+      corrupted value is written back through every activated port
+      (read disturb), exactly as the interpreter does.  With
+      ``p_read == 0`` single-port senses stay exact, so RowClone
+      copies still alias for free.
+    * **No dead-node elimination.**  ``FaultModel.injected`` counts
+      the flips of *every* activation, and under margin-aware
+      selection that count depends on the contested flags of the
+      sensed data -- so every faulty node is kept live and computed.
+    * **The fault pre-pass.**  Each replay first draws the program's
+      complete flip-mask block in original op order -- one
+      ``Generator.random((n_draws, n_cols))`` call, which consumes
+      the generator's stream exactly as the interpreter's sequential
+      per-activation ``random(n_cols)`` calls would (pinned by
+      ``tests/test_fault_fusion_parity.py``) -- thresholds it
+      per-row (CIM vs read rate) and packs it to ``uint64``.  Replay
+      then applies mask rows per node, computing the margin-aware
+      contested-column selection from the sensed words.
+
+    ``execute`` returns the number of injected flips (and adds it to
+    ``fault_model.injected``), so the subarray's accounting matches
+    the interpreted path bit for bit.
+    """
+
+    spec: FaultSpec
+    input_rows: np.ndarray           # gathered into slots [0, n_inputs)
+    n_input_mirror: int              # prefix of inputs used complemented
+    n_slots: int
+    steps: Tuple[tuple, ...]         # per-node specs, creation order
+    out_rows: np.ndarray             # cells[rows] <- vals[slots]
+    out_slots: np.ndarray            # (polarity encoded in the slot id)
+    draw_thresholds: np.ndarray      # per pre-pass draw row, op order
+    n_aap: int
+    n_ap: int
+    n_activations: int
+    n_multi: int
+
+    #: Dispatch tag for ``WordlineSubarray.run_program``.
+    faulty = True
+
+    def __post_init__(self):
+        # Nodes whose flip mask is data-dependent (margin-aware
+        # contested selection): they stage masks in the scratch for
+        # one batched popcount per replay.
+        self._n_masked = (sum(1 for s in self.steps if s[0] == "mj")
+                          if self.spec.multi_mode in ("contested",
+                                                      "select") else 0)
+
+    @property
+    def n_inputs(self) -> int:
+        return int(self.input_rows.size)
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.steps)
+
+    @property
+    def n_draws(self) -> int:
+        """RNG draw rows one replay consumes (== interpreter draws)."""
+        return int(self.draw_thresholds.size)
+
+    def execute(self, cells: np.ndarray, scratch: TraceScratch,
+                fault_model, n_cols: int) -> int:
+        """Replay against packed cells, injecting one fresh fault epoch.
+
+        Returns the flip count (``corrupt``'s ``injected`` delta).
+        """
+        pack_rows = _packer()
+        n_words = cells.shape[1]
+        n_out = self.out_rows.size
+        n_masked = self._n_masked        # nodes with data-dependent masks
+        scratch.ensure(2 * self.n_slots, 3 + n_out + n_masked, n_words)
+        vals, aux = scratch.vals, scratch.aux
+        mirror = self.n_slots
+        flips = row_pop = None
+        if self.draw_thresholds.size:
+            # Fault pre-pass: the whole program's draws in op order.
+            uniform = fault_model.predraw(self.draw_thresholds.size,
+                                          n_cols)
+            flips = pack_rows(uniform < self.draw_thresholds[:, None])
+            # Flip counts of the raw masks (tails are zero by packing):
+            # nodes that apply a draw row unmodified charge these.
+            row_pop = np.bitwise_count(flips).sum(axis=1)
+        n_in = self.input_rows.size
+        if n_in:
+            np.take(cells, self.input_rows, axis=0, out=vals[:n_in])
+        im = self.n_input_mirror
+        if im:
+            np.invert(vals[:im], out=vals[mirror:mirror + im])
+        t1, t2, t3 = aux[0], aux[1], aux[2]
+        masked = aux[3 + n_out:3 + n_out + n_masked]
+        band, bor, bxor = np.bitwise_and, np.bitwise_or, np.bitwise_xor
+        mode = self.spec.multi_mode
+        injected = 0
+        n_sel = 0
+        for step in self.steps:
+            kind = step[0]
+            if kind == "rd":
+                _, src, dst, mir, rrow = step
+                bxor(vals[src], flips[rrow], out=vals[dst])
+                injected += int(row_pop[rrow])
+            else:
+                _, a, b, c, dst, mir, crow, rrow = step
+                va, vb, vc = vals[a], vals[b], vals[c]
+                # MAJ3 ideal value: (a & (b | c)) | (b & c).
+                bor(vb, vc, out=t1)
+                band(va, t1, out=t1)
+                band(vb, vc, out=t2)
+                bor(t1, t2, out=t1)
+                if kind == "mx":                  # exact multi sense
+                    vals[dst][...] = t1
+                    if mir:
+                        np.invert(vals[dst], out=vals[mirror + dst])
+                    continue
+                if mode == "all":
+                    mask = flips[crow]
+                    injected += int(row_pop[crow])
+                else:
+                    # Contested columns: any disagreeing operand pair.
+                    # Data-dependent masks land in the ``masked``
+                    # block and are popcounted in one batched call.
+                    bxor(va, vb, out=t2)
+                    bxor(va, vc, out=t3)
+                    bor(t2, t3, out=t2)
+                    mask = masked[n_sel]
+                    n_sel += 1
+                    if mode == "contested":
+                        band(t2, flips[crow], out=mask)
+                    else:  # "select": read ^ (contested & (cim^read))
+                        bxor(flips[crow], flips[rrow], out=t3)
+                        band(t2, t3, out=t3)
+                        bxor(t3, flips[rrow], out=mask)
+                bxor(t1, mask, out=vals[dst])
+            if mir:
+                np.invert(vals[dst], out=vals[mirror + dst])
+        if n_sel:
+            injected += int(np.bitwise_count(masked[:n_sel]).sum())
+        if n_out:
+            out = aux[3:3 + n_out]
+            np.take(vals, self.out_slots, axis=0, out=out)
+            cells[self.out_rows] = out
+        fault_model.injected += injected
+        return injected
+
+
 class _Builder:
     """Value-numbering walk over a resolved op stream."""
 
@@ -367,9 +603,10 @@ class _Builder:
         self.current[row] = (ref[0], ref[1] ^ negated)
 
 
-def compile_trace(program, resolve: Callable) -> CompiledTrace:
+def compile_trace(program, resolve: Callable, fault: FaultSpec = None):
     """Lower ``program`` (via ``resolve``: address -> port tuples) into a
-    :class:`CompiledTrace`.
+    :class:`CompiledTrace` (or, under an active ``fault`` spec, a
+    :class:`CompiledFaultTrace`).
 
     ``resolve`` is the word backend's address map
     (:meth:`~repro.dram.wordline.WordlineSubarray.resolve`): it returns
@@ -377,8 +614,12 @@ def compile_trace(program, resolve: Callable) -> CompiledTrace:
     the interpreted fault-free semantics op by op -- single-port senses
     are pure reads, multi-row senses are destructive majorities written
     back through every activated port, AAP destinations latch the
-    sensed value through each port's polarity.
+    sensed value through each port's polarity.  With a fault spec, the
+    faulty activations additionally become XOR-flip nodes fed by the
+    replay-time fault pre-pass (see :class:`CompiledFaultTrace`).
     """
+    if fault is not None and fault.active:
+        return _compile_fault(program, resolve, fault)
     builder = _Builder()
     n_aap = n_ap = n_multi = 0
     for op in program.ops:
@@ -490,6 +731,165 @@ def compile_trace(program, resolve: Callable) -> CompiledTrace:
         levels=tuple(levels),
         out_rows=out_rows,
         out_slots=out_slots,
+        n_aap=n_aap,
+        n_ap=n_ap,
+        n_activations=2 * n_aap + n_ap,
+        n_multi=n_multi)
+
+
+def _compile_fault(program, resolve: Callable,
+                   spec: FaultSpec) -> CompiledFaultTrace:
+    """Fault-aware lowering: every draw-taking activation is a node.
+
+    The walk mirrors the interpreted faulty semantics op by op.  A
+    multi-row sense (when ``p_cim > 0``) and a single-port sense (when
+    ``p_read > 0``) each allocate a fresh value -- ideal result XOR
+    flip mask -- and write it back destructively through every
+    activated port.  The per-activation draw schedule is recorded in
+    *original op order* so the replay-time pre-pass consumes the fault
+    model's RNG stream exactly as sequential ``corrupt`` calls would.
+    """
+    builder = _Builder()
+    n_aap = n_ap = n_multi = 0
+    single_faulty = spec.p_read > 0.0
+    multi_mode = spec.multi_mode
+    draw_kinds: List[str] = []        # op-order rows: "cim" | "read"
+    fault_meta: Dict[int, tuple] = {}  # vid -> (cim/read draw rows)
+    for op in program.ops:
+        src_ports = resolve(op.src)
+        if len(src_ports) == 1:
+            row, neg = src_ports[0]
+            ref = builder.read(row)
+            sensed = (ref[0], ref[1] ^ neg)
+            if single_faulty:
+                # Faulty plain read: value ^ read-rate flips, written
+                # back through the port (read disturb), so downstream
+                # consumers see the corrupted value -- no copy alias.
+                vid = len(builder.defs)
+                builder.defs.append(("rd", sensed))
+                fault_meta[vid] = (None, len(draw_kinds))
+                draw_kinds.append("read")
+                sensed = (vid, False)
+                builder.write(row, sensed, neg)
+        else:
+            if len(src_ports) % 2 == 0:
+                raise ValueError(
+                    "simultaneous activation needs an odd row count for "
+                    "a defined majority; use an AAP destination for "
+                    "copies")
+            operands = []
+            for row, neg in src_ports[:3]:
+                ref = builder.read(row)
+                operands.append((ref[0], ref[1] ^ neg))
+            if multi_mode is None:
+                # p_cim == 0: multi-row senses are exact and foldable.
+                sensed = builder.maj(*operands)
+            else:
+                # Faulty majority: never folds -- the output carries
+                # this activation's fresh flip mask.
+                vid = len(builder.defs)
+                builder.defs.append(("maj",) + tuple(operands))
+                cim_row = len(draw_kinds)
+                draw_kinds.append("cim")
+                read_row = None
+                if multi_mode == "select":
+                    read_row = len(draw_kinds)
+                    draw_kinds.append("read")
+                fault_meta[vid] = (cim_row, read_row)
+                sensed = (vid, False)
+            n_multi += 1
+            for row, neg in src_ports:
+                builder.write(row, sensed, neg)
+        if op.kind == "AAP":
+            for row, neg in resolve(op.dst):
+                builder.write(row, sensed, neg)
+            n_aap += 1
+        else:
+            n_ap += 1
+
+    # Final bindings: skip identity (row still holds its own entry value).
+    finals: Dict[int, _Ref] = {}
+    for row, ref in builder.current.items():
+        if builder.defs[ref[0]] == ("in", row) and not ref[1]:
+            continue
+        finals[row] = ref
+
+    # Liveness: final bindings AND every fault node -- the injected
+    # count of a margin-aware activation depends on its contested
+    # columns, so even an overwritten faulty intermediate must compute.
+    live = set()
+    stack = [ref[0] for ref in finals.values()] + list(fault_meta)
+    while stack:
+        vid = stack.pop()
+        if vid in live:
+            continue
+        live.add(vid)
+        definition = builder.defs[vid]
+        if definition[0] in ("maj", "rd"):
+            stack.extend(ref[0] for ref in definition[1:])
+
+    mirrored = {ref[0] for ref in finals.values() if ref[1]}
+    for vid in live:
+        definition = builder.defs[vid]
+        if definition[0] in ("maj", "rd"):
+            mirrored.update(ref[0] for ref in definition[1:] if ref[1])
+
+    # Slot assignment: live inputs (mirror-needing prefix), then nodes
+    # in creation order -- which is already a topological order.
+    slot: Dict[int, int] = {}
+    input_vids = [vid for vid in sorted(live)
+                  if builder.defs[vid][0] == "in"]
+    input_vids.sort(key=lambda vid: vid not in mirrored)
+    input_rows = [builder.defs[vid][1] for vid in input_vids]
+    for position, vid in enumerate(input_vids):
+        slot[vid] = position
+    n_input_mirror = sum(1 for vid in input_vids if vid in mirrored)
+    node_vids = [vid for vid in sorted(live)
+                 if builder.defs[vid][0] != "in"]
+    next_slot = len(input_vids)
+    for vid in node_vids:
+        slot[vid] = next_slot
+        next_slot += 1
+    n_slots = next_slot
+
+    def flat_slot(ref: _Ref) -> int:
+        return slot[ref[0]] + (n_slots if ref[1] else 0)
+
+    steps: List[tuple] = []
+    for vid in node_vids:
+        definition = builder.defs[vid]
+        mir = vid in mirrored
+        meta = fault_meta.get(vid)
+        if definition[0] == "rd":
+            steps.append(("rd", flat_slot(definition[1]), slot[vid],
+                          mir, meta[1]))
+        elif meta is None:
+            steps.append(("mx", flat_slot(definition[1]),
+                          flat_slot(definition[2]),
+                          flat_slot(definition[3]), slot[vid], mir,
+                          -1, -1))
+        else:
+            steps.append(("mj", flat_slot(definition[1]),
+                          flat_slot(definition[2]),
+                          flat_slot(definition[3]), slot[vid], mir,
+                          meta[0], -1 if meta[1] is None else meta[1]))
+
+    out_rows = np.asarray(sorted(finals), dtype=np.intp)
+    out_slots = np.asarray([flat_slot(finals[row]) for row in out_rows],
+                           dtype=np.intp)
+    thresholds = np.asarray(
+        [spec.p_cim if kind == "cim" else spec.p_read
+         for kind in draw_kinds], dtype=np.float64)
+
+    return CompiledFaultTrace(
+        spec=spec,
+        input_rows=np.asarray(input_rows, dtype=np.intp),
+        n_input_mirror=n_input_mirror,
+        n_slots=n_slots,
+        steps=tuple(steps),
+        out_rows=out_rows,
+        out_slots=out_slots,
+        draw_thresholds=thresholds,
         n_aap=n_aap,
         n_ap=n_ap,
         n_activations=2 * n_aap + n_ap,

@@ -1,0 +1,10 @@
+"""Reliability-campaign subsystem: seeded Monte-Carlo fault sweeps.
+
+See :mod:`repro.reliability.campaign` for the harness the paper-style
+fault-injection grids (Secs. 6-7, Figs. 14-19) run through.
+"""
+
+from repro.reliability.campaign import (Campaign, CampaignResult,
+                                        FaultPoint, TrialResult)
+
+__all__ = ["Campaign", "CampaignResult", "FaultPoint", "TrialResult"]

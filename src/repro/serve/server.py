@@ -286,6 +286,8 @@ class Server:
                 trace_compiles=(after.trace_compiles
                                 - before.trace_compiles),
                 trace_replays=after.trace_replays - before.trace_replays,
+                injected_faults=(after.injected_faults
+                                 - before.injected_faults),
                 timing=self.timing, energy=self.energy)
         except BaseException as exc:          # noqa: BLE001 - to futures
             for pending in live:
@@ -310,11 +312,34 @@ class Server:
         if self._closed:
             raise RuntimeError("server is closed")
 
+    def _reject_stranded(self) -> None:
+        """Deterministically resolve anything still queued after close.
+
+        ``submit`` re-checks ``_closed`` *under the condition lock*, so
+        with the current locking nothing can be enqueued once the
+        scheduler thread has exited -- but that invariant lives in two
+        methods that evolve independently.  This sweep makes shutdown
+        robust by construction: any pending future found in the queue
+        after the scheduler is gone is rejected (or confirmed
+        cancelled) instead of being stranded forever un-resolved,
+        which is what a submitter racing ``close()`` would otherwise
+        observe as a hang in ``future.result()``.
+        """
+        with self._cv:
+            stranded, self._queue = self._queue, []
+        for pending in stranded:
+            if pending.future.set_running_or_notify_cancel():
+                pending.future.set_exception(
+                    RuntimeError("server is closed"))
+
     def close(self) -> None:
         """Drain queued work, stop the scheduler, release all plans.
 
         Idempotent.  Queries already queued complete (their futures
-        resolve); submissions after close raise.
+        resolve); submissions after close raise; a submission racing
+        the close either completes or raises -- never hangs (the
+        stranded-future sweep rejects anything left in the queue once
+        the scheduler thread has exited).
         """
         with self._cv:
             if self._closed:
@@ -322,6 +347,7 @@ class Server:
             self._closed = True
             self._cv.notify_all()
         self._thread.join()
+        self._reject_stranded()
         self.registry.close()
         self.device.close()
 

@@ -70,6 +70,11 @@ class ExecutionReport:
         dynamic *and* background energy across its queries.
     evictions:
         Plans the registry had to park to make bank room for this wave.
+    injected_faults:
+        Fault-model bit flips injected while the wave executed (delta
+        of the plan's monotonic counter) -- zero for fault-free
+        configs, and identical whether the word backend replayed fused
+        fault traces or interpreted per op.
     """
 
     model: str
@@ -83,6 +88,7 @@ class ExecutionReport:
     evictions: int = 0
     trace_compiles: int = 0
     trace_replays: int = 0
+    injected_faults: int = 0
 
     @property
     def coalesced(self) -> bool:
@@ -104,6 +110,7 @@ class ExecutionReport:
                       broadcasts: int, n_banks: int,
                       nominal_ops: float = 0.0, evictions: int = 0,
                       trace_compiles: int = 0, trace_replays: int = 0,
+                      injected_faults: int = 0,
                       timing: TimingParams = DDR5_4400_TIMING,
                       energy: Optional[EnergyModel] = None
                       ) -> "ExecutionReport":
@@ -123,4 +130,5 @@ class ExecutionReport:
                    query_energy_j=cost.energy_j / batch_size,
                    evictions=int(evictions),
                    trace_compiles=int(trace_compiles),
-                   trace_replays=int(trace_replays))
+                   trace_replays=int(trace_replays),
+                   injected_faults=int(injected_faults))

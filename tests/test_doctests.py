@@ -20,6 +20,7 @@ import repro.kernels.gemm
 import repro.kernels.gemv
 import repro.kernels.lowering
 import repro.perf.metrics
+import repro.reliability.campaign
 import repro.serve.pool
 import repro.serve.registry
 import repro.serve.server
@@ -32,7 +33,7 @@ import repro.util
     repro.dram.wordline, repro.engine.cluster, repro.isa.trace,
     repro.kernels.gemv, repro.kernels.gemm,
     repro.kernels.lowering, repro.device, repro.perf.metrics,
-    repro.serve.pool, repro.serve.registry, repro.serve.server,
+    repro.reliability.campaign, repro.serve.pool, repro.serve.registry, repro.serve.server,
     repro.serve.telemetry])
 def test_doctests(module):
     result = doctest.testmod(module)

@@ -7,8 +7,9 @@ way to run the same commands.  These tests pin that contract:
   (``aap_count``, ``ap_count``, ``activations``,
   ``multi_row_activations``, ``measured_ops``) to the interpreted word
   path and to the bit backend, across an (n_bits, n_digits, k) grid;
-* an active fault model bypasses fusion entirely (the seeded fault
-  stream must stay interpreter-ordered);
+* an active fault model fuses too (fault traces pre-draw the seeded
+  stream in interpreter order; full parity grids live in
+  ``tests/test_fault_fusion_parity.py``);
 * packed operand staging round-trips bit-exactly (hypothesis);
 * the compiled-program cache is bounded LRU, shared by resolved ops
   and traces.
@@ -121,22 +122,30 @@ def test_every_k_step_fuses_identically(n_bits):
         assert results["fused"][1] == results["bit"][1]
 
 
-def test_active_fault_model_bypasses_fusion():
+def test_active_fault_model_fuses_after_warmup():
+    """Faults no longer bypass fusion: hot programs compile fault
+    traces and replay them (stream parity is pinned in
+    tests/test_fault_fusion_parity.py); fusion_disabled() remains the
+    escape hatch."""
     fm = FaultModel(p_cim=5e-3, seed=7)
     eng = CountingEngine(2, 5, 32, fault_model=fm, backend="word")
     eng.reset_counters()
-    rng = np.random.default_rng(0)
-    for _ in range(6):
-        eng.load_mask(0, rng.integers(0, 2, 32).astype(np.uint8))
-        eng.accumulate(int(rng.integers(1, 40)))
+    mask = np.ones(32, dtype=np.uint8)
+    for _ in range(3):                   # same magnitude: warms the JIT
+        eng.reset_counters()
+        eng.load_mask(0, mask)
+        eng.accumulate(9)
     eng.read_values(strict=False)
-    # Fusion never ran: the seeded per-activation fault stream must be
-    # drawn in interpreted order (parity with the bit backend is pinned
-    # separately in tests/test_backend_parity.py).
-    assert eng.subarray.trace_compiles == 0
-    assert eng.subarray.trace_replays == 0
-    assert eng.counters.trace_compiles == 0
-    assert eng.counters.trace_replays == 0
+    assert eng.subarray.trace_compiles > 0
+    assert eng.subarray.trace_replays > 0
+    assert eng.counters.injected_faults == eng.subarray.fault_injections
+    # The explicit escape hatch still interprets.
+    with fusion_disabled():
+        replays = eng.subarray.trace_replays
+        eng.reset_counters()
+        eng.load_mask(0, mask)
+        eng.accumulate(9)
+        assert eng.subarray.trace_replays == replays
 
 
 def test_jit_warmup_interprets_once_then_compiles_then_replays():

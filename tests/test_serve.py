@@ -477,3 +477,86 @@ class TestServer:
         exact = xs @ z
         got = np.stack([r.y for r in responses])
         assert np.abs(got - exact).max() < np.abs(xs).sum()
+
+
+class TestCloseSubmitRace:
+    """Shutdown determinism: a submission racing close() never strands
+    its future -- it completes, raises at submission, or is rejected by
+    the stranded-future sweep (satellite of the fault-fusion PR)."""
+
+    def test_submit_after_close_raises(self, rng):
+        z = rng.integers(-1, 2, (4, 8)).astype(np.int8)
+        srv = Server(n_bits=2)
+        srv.register("m", z, kind="ternary")
+        srv.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            srv.submit("m", np.zeros(4, dtype=np.int64))
+
+    def test_stranded_future_sweep_rejects_deterministically(self, rng):
+        """Simulate the race window directly: a pending that slipped
+        into the queue after the scheduler exited gets rejected by the
+        close-time sweep instead of hanging forever."""
+        from repro.serve.server import _Pending
+        z = rng.integers(-1, 2, (4, 8)).astype(np.int8)
+        srv = Server(n_bits=2)
+        srv.register("m", z, kind="ternary")
+        with srv._cv:
+            srv._closed = True
+            srv._cv.notify_all()
+        srv._thread.join()
+        # The racing submitter's pending lands after the thread is gone.
+        stray = _Pending("m", np.zeros(4, dtype=np.int64))
+        srv._queue.append(stray)
+        srv._reject_stranded()
+        assert stray.future.done()
+        with pytest.raises(RuntimeError, match="closed"):
+            stray.future.result(timeout=0)
+        # close() remains idempotent after the manual shutdown.
+        srv.close()
+
+    def test_cancelled_stranded_future_is_left_cancelled(self, rng):
+        from repro.serve.server import _Pending
+        z = rng.integers(-1, 2, (4, 8)).astype(np.int8)
+        srv = Server(n_bits=2)
+        srv.register("m", z, kind="ternary")
+        with srv._cv:
+            srv._closed = True
+            srv._cv.notify_all()
+        srv._thread.join()
+        stray = _Pending("m", np.zeros(4, dtype=np.int64))
+        stray.future.cancel()
+        srv._queue.append(stray)
+        srv._reject_stranded()              # must not raise on cancelled
+        assert stray.future.cancelled()
+        srv.close()
+
+    def test_concurrent_submits_racing_close_never_hang(self, rng):
+        """Stress the real interleaving: every future a submitter got
+        back resolves (result or exception) shortly after close."""
+        z = rng.integers(-1, 2, (4, 8)).astype(np.int8)
+        srv = Server(n_bits=2)
+        srv.register("m", z, kind="ternary")
+        futures, errors = [], []
+        start = threading.Barrier(5)
+
+        def submitter():
+            start.wait()
+            for _ in range(20):
+                try:
+                    futures.append(
+                        srv.submit("m", rng.integers(-3, 4, 4)))
+                except RuntimeError:
+                    errors.append(1)        # rejected at submission: fine
+                    return
+
+        threads = [threading.Thread(target=submitter) for _ in range(4)]
+        for t in threads:
+            t.start()
+        start.wait()
+        srv.close()
+        for t in threads:
+            t.join(timeout=10)
+            assert not t.is_alive()
+        for future in futures:
+            # Never stranded: each resolves promptly one way or another.
+            future.exception(timeout=10)
