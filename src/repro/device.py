@@ -161,6 +161,12 @@ class PlanStats:
     injected (zero for fault-free configs; identical whether the word
     backend replayed fused fault traces or interpreted) -- serve
     telemetry reports its per-query delta.
+    ``megatrace_compiles`` / ``megatrace_replays`` split the stitched
+    whole-sequence trace cache (see
+    :meth:`~repro.engine.machine.CountingEngine.run_waves`): on the
+    word path a query's entire wave sequence replays as a handful of
+    megatraces, so these counters -- not ``trace_replays`` -- carry
+    steady-state replay traffic.
     """
 
     queries: int = 0
@@ -175,6 +181,8 @@ class PlanStats:
     trace_compiles: int = 0
     trace_replays: int = 0
     injected_faults: int = 0
+    megatrace_compiles: int = 0
+    megatrace_replays: int = 0
 
 
 class GemvPlan:
@@ -251,8 +259,9 @@ class GemvPlan:
         self._parks = 0
         self._unparks = 0
         # ops / prog compiles / prog replays / trace compiles /
-        # trace replays / injected faults
-        self._retired = np.zeros(6, dtype=np.int64)
+        # trace replays / injected faults / megatrace compiles /
+        # megatrace replays
+        self._retired = np.zeros(8, dtype=np.int64)
         # Engines/clusters are built lazily on first use: a plan that
         # only ever sees run_many() never allocates the single-query
         # cluster, and vice versa.
@@ -710,9 +719,7 @@ class GemvPlan:
             wide[wave_id[sel] - lo, bank_col[sel]] = \
                 self._flat_masks[r_s[sel]]
             packed = pack_rows(wide.reshape(hi - lo, -1))
-            for w in range(hi - lo):
-                eng.load_mask_packed(0, packed[w])
-                eng.accumulate(int(mag_of_wave[lo + w]))
+            eng.run_waves(mag_of_wave[lo:hi], packed)
         self._broadcasts += n_waves
         partials = cluster.read_bank_values(strict=self.config.strict_reads)
         per_slot = partials.reshape(slots, banks, width).sum(axis=1)
@@ -758,7 +765,9 @@ class GemvPlan:
                          unparks=self._unparks,
                          trace_compiles=int(ops[3]),
                          trace_replays=int(ops[4]),
-                         injected_faults=int(ops[5]))
+                         injected_faults=int(ops[5]),
+                         megatrace_compiles=int(ops[6]),
+                         megatrace_replays=int(ops[7]))
 
 
 class GemmPlan:

@@ -71,6 +71,8 @@ class AmbitSubarray:
     #: WordlineSubarray` so engine-level accounting stays backend-blind.
     trace_compiles = 0
     trace_replays = 0
+    megatrace_compiles = 0
+    megatrace_replays = 0
 
     def __init__(self, n_data_rows: int, n_cols: int,
                  fault_model: FaultModel = FAULT_FREE):

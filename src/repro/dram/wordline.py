@@ -42,7 +42,7 @@ from repro.dram.ambit import _DATA_BASE, _b_group_map, _C0, _C1
 from repro.dram.faults import FAULT_FREE, FaultModel
 
 __all__ = ["WordlineSubarray", "pack_bits", "pack_rows", "unpack_bits",
-           "DEFAULT_PROGRAM_CACHE"]
+           "DEFAULT_PROGRAM_CACHE", "DEFAULT_MEGATRACE_CACHE"]
 
 # The trace compiler lives in repro.isa.trace, which (through the isa
 # package) transitively imports this module -- resolved lazily at the
@@ -66,6 +66,13 @@ _FULL = np.uint64(0xFFFFFFFFFFFFFFFF)
 #: sized for working sets (distinct event batches across magnitudes),
 #: not for memory.
 DEFAULT_PROGRAM_CACHE = 1024
+
+#: Default bound on the per-subarray compiled-megatrace LRU cache.  A
+#: megatrace covers a whole replay sequence (every wave of a resident
+#: plan's query), so a working set holds one entry per resident plan
+#: chunk, not per μProgram -- the bound is correspondingly smaller than
+#: :data:`DEFAULT_PROGRAM_CACHE`.
+DEFAULT_MEGATRACE_CACHE = 64
 
 #: The run number on which a program's trace is compiled: run 1
 #: interprets (a one-shot program never pays compilation -- the cold
@@ -189,6 +196,13 @@ class WordlineSubarray:
         self._trace_scratch = None   # shared replay buffers, lazy
         self.trace_compiles = 0   # cache misses: traces compiled
         self.trace_replays = 0    # cache hits: fused traces re-executed
+        # Stitched whole-sequence traces (repro.isa.trace.MegaProgram),
+        # same identity-keyed LRU discipline as ``_compiled``:
+        # id(mega) -> [mega, compiled trace, fault sig].
+        self._mega: "OrderedDict[int, list]" = OrderedDict()
+        self._mega_cache_size = DEFAULT_MEGATRACE_CACHE
+        self.megatrace_compiles = 0  # stitched traces compiled
+        self.megatrace_replays = 0   # stitched traces re-executed
         # Monotonic count of fault-model bit flips this subarray's
         # activations injected (interpreted and fused paths both feed
         # it) -- the per-subarray view of ``FaultModel.injected``,
@@ -360,6 +374,84 @@ class WordlineSubarray:
                 self.aap_count += 1
             else:
                 self.ap_count += 1
+
+    def run_megaprogram(self, mega, stream: np.ndarray) -> None:
+        """Execute a stitched :class:`~repro.isa.trace.MegaProgram`.
+
+        ``stream`` is a ``[n_segments, n_words]`` packed block; segment
+        ``i`` semantically begins with a host write of ``stream[i]``
+        into the mega's stream row (the engine's mask row), then runs
+        ``mega.segments[i]`` -- exactly the per-wave
+        ``write_data_row_packed`` + :meth:`run_program` sequence.  With
+        megatraces enabled the whole sequence replays as *one* compiled
+        trace; with them disabled (or fusion disabled) it falls back to
+        that literal per-wave loop, which is the differential escape
+        hatch the parity harness leans on.
+
+        Megatraces share the μProgram path's JIT warm-up discipline:
+        the first run of a sequence executes as the per-wave loop
+        (whose μPrograms ride their own trace cache, so a one-shot
+        query stream -- distinct magnitudes, never repeated -- pays no
+        stitched-compilation cost at all), and run ``FUSE_AFTER_RUNS``
+        compiles the whole sequence once; every further run is a
+        single-trace replay.  The cache is bounded by the same
+        identity-keyed LRU discipline as the per-program cache, and a
+        fault-regime change (p_cim/p_read/margin mutation) recompiles
+        the entry just like :meth:`run_program` does.
+        """
+        trace = _trace_module()
+        key = id(mega)
+        entry = None
+        if trace.fusion_enabled() and trace.megatrace_enabled():
+            entry = self._mega.get(key)
+            if entry is not None and entry[0] is mega:
+                self._mega.move_to_end(key)
+            else:
+                entry = [mega, None, None, 0]
+                self._mega[key] = entry
+                while len(self._mega) > self._mega_cache_size:
+                    self._mega.popitem(last=False)
+        if entry is None:
+            for i, segment in enumerate(mega.segments):
+                self.write_data_row_packed(mega.stream_row, stream[i])
+                self.run_program(segment)
+            return
+        fm = self.fault_model
+        spec = trace.FaultSpec.of(fm)
+        compiled = entry[1]
+        if compiled is not None and entry[2] != spec:
+            compiled = entry[1] = None        # fault regime changed
+        if compiled is None:
+            entry[3] += 1
+            if entry[3] < FUSE_AFTER_RUNS:
+                # Warm-up run: the literal per-wave sequence (its
+                # μPrograms JIT independently, so even this run fuses
+                # at μProgram granularity once warm).
+                for i, segment in enumerate(mega.segments):
+                    self.write_data_row_packed(mega.stream_row,
+                                               stream[i])
+                    self.run_program(segment)
+                return
+            compiled = trace.compile_megatrace(mega, self.resolve,
+                                               fault=spec)
+            entry[1], entry[2] = compiled, spec
+            self.megatrace_compiles += 1
+        else:
+            self.megatrace_replays += 1
+        if self._trace_scratch is None:
+            self._trace_scratch = trace.TraceScratch()
+        stream = np.ascontiguousarray(stream, dtype=np.uint64)
+        if compiled.faulty:
+            self.fault_injections += compiled.execute(
+                self.cells, self._trace_scratch, fault_model=fm,
+                n_cols=self.n_cols, stream=stream)
+        else:
+            compiled.execute(self.cells, self._trace_scratch,
+                             stream=stream)
+        self.aap_count += compiled.n_aap
+        self.ap_count += compiled.n_ap
+        self.activations += compiled.n_activations
+        self.multi_row_activations += compiled.n_multi
 
     # ------------------------------------------------------------------
     # host-side access (RD/WR path; used to stage operands and read out)

@@ -133,9 +133,9 @@ class BankCluster:
         wide[wave_id, pos % self.n_banks] = masks[order]
         packed = pack_rows(wide.reshape(n_waves, self.n_lanes))
         magnitudes = np.repeat(uniq[np.argsort(first)], waves_per_group)
-        for w in range(n_waves):
-            self.engine.load_mask_packed(0, packed[w])
-            self.engine.accumulate(int(magnitudes[w]))
+        # One stitched pass over the whole wave sequence (megatrace on
+        # the word path; the per-wave load/accumulate loop otherwise).
+        self.engine.run_waves(magnitudes, packed)
         self.broadcasts += n_waves
 
     # ------------------------------------------------------------------

@@ -35,7 +35,7 @@ from repro.isa.templates import (kary_increment_program, masked_update_ops,
                                  protected_masked_update_ops,
                                  underflow_check_ops)
 from repro.isa.microprogram import MicroProgram, aap, concat
-from repro.isa.trace import fusion_enabled
+from repro.isa.trace import MegaProgram, fusion_enabled, megatrace_enabled
 
 __all__ = ["CountingEngine", "EngineCounters"]
 
@@ -46,6 +46,12 @@ __all__ = ["CountingEngine", "EngineCounters"]
 #: Entries are small (a MicroProgram is a few KB); the subarray's own
 #: bounded cache governs the compiled-trace side independently.
 ENGINE_PROGRAM_CACHE = 4096
+
+#: Bound on the engine-level megaprogram LRU cache (stitched whole-wave
+#: sequences keyed by their event signatures).  A serving process sees
+#: one distinct signature per (resident plan, magnitude profile) chunk;
+#: the subarray's own bounded megatrace cache governs the compiled side.
+ENGINE_MEGATRACE_CACHE = 256
 
 
 class EngineCounters(NamedTuple):
@@ -71,6 +77,13 @@ class EngineCounters(NamedTuple):
     trace_compiles: int = 0
     trace_replays: int = 0
     injected_faults: int = 0
+    #: Whole-sequence stitched traces (see :meth:`CountingEngine.
+    #: run_waves`): compile/replay split of the megatrace cache, the
+    #: same way ``trace_compiles`` / ``trace_replays`` split the
+    #: per-μProgram trace cache.  Zero on the bit backend and on any
+    #: path that never coalesces waves.
+    megatrace_compiles: int = 0
+    megatrace_replays: int = 0
 
 
 class CountingEngine:
@@ -146,6 +159,9 @@ class CountingEngine:
         self._prog_cache: "OrderedDict" = OrderedDict()
         self.prog_compiles = 0   # cache misses: μPrograms built
         self.prog_replays = 0    # cache hits: compiled μPrograms reused
+        # Stitched wave-sequence megaprograms, keyed by the chunk's
+        # event signatures (bounded LRU; see run_waves).
+        self._mega_cache: "OrderedDict" = OrderedDict()
         self.scheduler = scheduler or IARMScheduler(n_bits, n_digits)
         if self.fr_checks:
             # Any XOR-homomorphic code works; Hamming (72,64) by default,
@@ -470,6 +486,85 @@ class CountingEngine:
         self.execute_events(self.scheduler.schedule_value(int(value)),
                             mask_index)
 
+    def run_waves(self, magnitudes, packed_masks,
+                  mask_index: int = 0) -> None:
+        """Execute a whole sequence of (mask, magnitude) waves at once.
+
+        Semantically identical to the per-wave loop::
+
+            for mag, mask in zip(magnitudes, packed_masks):
+                engine.load_mask_packed(mask_index, mask)
+                engine.accumulate(int(mag), mask_index)
+
+        but on the unprotected word path the entire sequence -- every
+        wave's event batch plus the interleaved host mask writes --
+        stitches into :class:`~repro.isa.trace.MegaProgram` chunks that
+        replay as single compiled traces (see
+        :meth:`~repro.dram.wordline.WordlineSubarray.run_megaprogram`).
+        Cell states, AAP/AP/activation accounting, the paper-formula
+        ``model_ops``, and a seeded fault stream are exactly what the
+        per-wave loop produces; only the compile/replay cache counters
+        see the coarser (per-chunk) granularity.
+
+        The IARM scheduler still runs wave by wave -- its event stream
+        is state-dependent, so the stitched sequence is keyed by the
+        *scheduled* event signatures, never by magnitudes alone.  Long
+        sequences split into chunks under a fixed replay-scratch
+        budget; chunk boundaries are deterministic in the event
+        signatures, so cache keys stay stable across identical queries.
+        """
+        n_waves = len(magnitudes)
+        if n_waves == 0:
+            return
+        if not (self._fusable and fusion_enabled()
+                and megatrace_enabled()):
+            for w in range(n_waves):
+                self.load_mask_packed(mask_index, packed_masks[w])
+                self.accumulate(int(magnitudes[w]), mask_index)
+            return
+        self._flushed = False
+        mask_row = self.layout.mask_rows[mask_index]
+        wave_events, sigs = [], []
+        for w in range(n_waves):
+            events = list(self.scheduler.schedule_value(
+                int(magnitudes[w])))
+            wave_events.append(events)
+            sigs.append(tuple(
+                (ev.digit, ev.k) if isinstance(ev, Increment)
+                else ("resolve", ev.digit, ev.direction)
+                for ev in events))
+            for ev in events:
+                self.model_ops += event_ops(ev, self.n_bits,
+                                            fr_checks=self.fr_checks)
+        # Replay scratch grows with the stitched value graph; bound it
+        # by splitting the sequence into chunks of roughly
+        # budget-many value slots (coarse per-wave estimate).
+        budget = max(8, (1 << 24) // (2 * self.subarray.n_words))
+        chunks, start, used = [], 0, 0
+        for w in range(n_waves):
+            cost = 8 + 48 * len(wave_events[w])
+            if w > start and used + cost > budget:
+                chunks.append((start, w))
+                start, used = w, 0
+            used += cost
+        chunks.append((start, n_waves))
+        for lo, hi in chunks:
+            key = (mask_row,) + tuple(sigs[lo:hi])
+            mega = self._mega_cache.get(key)
+            if mega is not None:
+                self._mega_cache.move_to_end(key)
+            else:
+                segments = tuple(
+                    self._fused_batch_program(wave_events[w], mask_row)
+                    if wave_events[w] else MicroProgram("noop", ())
+                    for w in range(lo, hi))
+                mega = MegaProgram(f"mega[{hi - lo}]", segments,
+                                   mask_row)
+                self._mega_cache[key] = mega
+                while len(self._mega_cache) > ENGINE_MEGATRACE_CACHE:
+                    self._mega_cache.popitem(last=False)
+            self.subarray.run_megaprogram(mega, packed_masks[lo:hi])
+
     def flush(self) -> None:
         """Resolve all pending carries (read-out barrier)."""
         self.execute_events(self.scheduler.flush())
@@ -555,7 +650,9 @@ class CountingEngine:
                               self.prog_replays,
                               self.subarray.trace_compiles,
                               self.subarray.trace_replays,
-                              self.subarray.fault_injections)
+                              self.subarray.fault_injections,
+                              self.subarray.megatrace_compiles,
+                              self.subarray.megatrace_replays)
 
     @property
     def measured_ops(self) -> int:

@@ -70,7 +70,9 @@ from repro.dram.ambit import _C0, _C1
 
 __all__ = ["CompiledTrace", "CompiledFaultTrace", "FaultSpec",
            "TraceScratch", "compile_trace", "fusion_enabled",
-           "fusion_disabled"]
+           "fusion_disabled", "MegaProgram", "MegaTrace",
+           "MegaFaultTrace", "compile_megatrace", "megatrace_enabled",
+           "megatrace_disabled"]
 
 #: A value reference: (SSA value id, complemented).
 _Ref = Tuple[int, bool]
@@ -83,6 +85,12 @@ _NODE_EXEC_WORDS = 256
 
 #: Process-wide fusion switch (see :func:`fusion_disabled`).
 _fusion_on = True
+
+#: Process-wide megatrace switch (see :func:`megatrace_disabled`).
+#: Independent of the fusion switch so the differential harness can pin
+#: three word-backend regimes: megatrace replay, per-μProgram fused
+#: replay (megatraces off), and per-op interpretation (fusion off).
+_megatrace_on = True
 
 # repro.dram.wordline transitively imports this module, so its packing
 # helper is resolved lazily at the first fault replay and cached.
@@ -123,6 +131,37 @@ def fusion_disabled():
         yield
     finally:
         _fusion_on = previous
+
+
+def megatrace_enabled() -> bool:
+    """Whether whole-plan replay sequences may stitch into megatraces."""
+    return _megatrace_on
+
+
+@contextmanager
+def megatrace_disabled():
+    """Temporarily force per-μProgram execution of wave sequences.
+
+    The megatrace-level escape hatch: with megatraces off (but fusion
+    on) a coalesced wave sequence falls back to one fused μProgram
+    replay per wave -- the PR 5 behavior -- which is what the
+    differential parity harness and the megatrace benchmark compare
+    against.  Composes with :func:`fusion_disabled`, which disables
+    both levels.
+
+    >>> with megatrace_disabled():
+    ...     megatrace_enabled()
+    False
+    >>> megatrace_enabled()
+    True
+    """
+    global _megatrace_on
+    previous = _megatrace_on
+    _megatrace_on = False
+    try:
+        yield
+    finally:
+        _megatrace_on = previous
 
 
 @dataclass(frozen=True)
@@ -290,6 +329,16 @@ class CompiledTrace:
     def n_levels(self) -> int:
         return len(self.levels)
 
+    def _fill_plan(self, vals: np.ndarray) -> tuple:
+        """Input-fill segments: ``(from_stream, indices, dst_view)``.
+
+        The base trace gathers every live input from the cell matrix in
+        one contiguous ``take``; :class:`MegaTrace` overrides this with
+        its mixed cell/stream fill segments.
+        """
+        return ((False, self.input_rows,
+                 vals[:self.input_rows.size]),)
+
     def _build_plan(self, scratch: TraceScratch, n_words: int) -> tuple:
         """Width-specialized replay plan: all views precomputed.
 
@@ -339,17 +388,17 @@ class CompiledTrace:
                         vals[idx[2 * width + j]], u, v, vals[lo + j],
                         vals[mirror + lo + j]
                         if j < level.n_mirror else None))
-        n_in = self.input_rows.size
         im = self.n_input_mirror
-        plan = (scratch, scratch.version, batched, vals, vals[:n_in],
+        plan = (scratch, scratch.version, batched, vals,
+                self._fill_plan(vals),
                 vals[:im] if im else None,
                 vals[mirror:mirror + im] if im else None,
                 tuple(steps), out)
         self._plan = plan
         return plan
 
-    def execute(self, cells: np.ndarray,
-                scratch: TraceScratch = None) -> None:
+    def execute(self, cells: np.ndarray, scratch: TraceScratch = None,
+                stream: np.ndarray = None) -> None:
         """Replay the trace against a packed ``uint64`` cell matrix."""
         if scratch is None:
             if self._own_scratch is None:
@@ -360,11 +409,13 @@ class CompiledTrace:
                 or plan[1] != scratch.version
                 or scratch.n_words != cells.shape[1]):
             plan = self._build_plan(scratch, cells.shape[1])
-        _, _, batched, vals, in_dst, im_src, im_dst, steps, out = plan
+        _, _, batched, vals, fills, im_src, im_dst, steps, out = plan
         take, and_, or_, invert = (np.take, np.bitwise_and,
                                    np.bitwise_or, np.invert)
-        if in_dst.shape[0]:
-            take(cells, self.input_rows, axis=0, out=in_dst)
+        for from_stream, idx, dst in fills:
+            if dst.shape[0]:
+                take(stream if from_stream else cells, idx, axis=0,
+                     out=dst)
         if im_dst is not None:
             invert(im_src, out=im_dst)
         if batched:
@@ -460,13 +511,23 @@ class CompiledFaultTrace:
         """RNG draw rows one replay consumes (== interpreter draws)."""
         return int(self.draw_thresholds.size)
 
+    def _draw_flips(self, fault_model, n_cols: int) -> np.ndarray:
+        """Fault pre-pass: the whole program's draws in op order."""
+        uniform = fault_model.predraw(self.draw_thresholds.size, n_cols)
+        return _packer()(uniform < self.draw_thresholds[:, None])
+
+    def _fill_inputs(self, cells: np.ndarray, stream, vals) -> None:
+        """Gather the live input rows into the value-slot prefix."""
+        n_in = self.input_rows.size
+        if n_in:
+            np.take(cells, self.input_rows, axis=0, out=vals[:n_in])
+
     def execute(self, cells: np.ndarray, scratch: TraceScratch,
-                fault_model, n_cols: int) -> int:
+                fault_model, n_cols: int, stream: np.ndarray = None) -> int:
         """Replay against packed cells, injecting one fresh fault epoch.
 
         Returns the flip count (``corrupt``'s ``injected`` delta).
         """
-        pack_rows = _packer()
         n_words = cells.shape[1]
         n_out = self.out_rows.size
         n_masked = self._n_masked        # nodes with data-dependent masks
@@ -475,16 +536,11 @@ class CompiledFaultTrace:
         mirror = self.n_slots
         flips = row_pop = None
         if self.draw_thresholds.size:
-            # Fault pre-pass: the whole program's draws in op order.
-            uniform = fault_model.predraw(self.draw_thresholds.size,
-                                          n_cols)
-            flips = pack_rows(uniform < self.draw_thresholds[:, None])
+            flips = self._draw_flips(fault_model, n_cols)
             # Flip counts of the raw masks (tails are zero by packing):
             # nodes that apply a draw row unmodified charge these.
             row_pop = np.bitwise_count(flips).sum(axis=1)
-        n_in = self.input_rows.size
-        if n_in:
-            np.take(cells, self.input_rows, axis=0, out=vals[:n_in])
+        self._fill_inputs(cells, stream, vals)
         im = self.n_input_mirror
         if im:
             np.invert(vals[:im], out=vals[mirror:mirror + im])
@@ -602,27 +658,31 @@ class _Builder:
     def write(self, row: int, ref: _Ref, negated: bool) -> None:
         self.current[row] = (ref[0], ref[1] ^ negated)
 
+    def rebind_stream(self, row: int, index: int) -> None:
+        """Bind ``row`` to external stream input ``index``.
 
-def compile_trace(program, resolve: Callable, fault: FaultSpec = None):
-    """Lower ``program`` (via ``resolve``: address -> port tuples) into a
-    :class:`CompiledTrace` (or, under an active ``fault`` spec, a
-    :class:`CompiledFaultTrace`).
+        Models a host write landing between stitched program segments
+        (``load_mask_packed`` of the next wave's mask): the row's value
+        becomes a fresh trace input gathered from the *stream* operand
+        at replay, not from the cell matrix.  ``("ext", i)`` defs are
+        deliberately opaque to :meth:`const_of` -- stream contents are
+        never compile-time constants.
+        """
+        vid = len(self.defs)
+        self.defs.append(("ext", index))
+        self.current[row] = (vid, False)
 
-    ``resolve`` is the word backend's address map
-    (:meth:`~repro.dram.wordline.WordlineSubarray.resolve`): it returns
-    ``((physical_row, negated), ...)`` port tuples.  Compilation mirrors
-    the interpreted fault-free semantics op by op -- single-port senses
-    are pure reads, multi-row senses are destructive majorities written
-    back through every activated port, AAP destinations latch the
-    sensed value through each port's polarity.  With a fault spec, the
-    faulty activations additionally become XOR-flip nodes fed by the
-    replay-time fault pre-pass (see :class:`CompiledFaultTrace`).
+
+def _walk_ops(builder: _Builder, ops, resolve: Callable) -> tuple:
+    """Value-number a fault-free op stream; returns (aap, ap, multi).
+
+    Shared by :func:`compile_trace` (one program) and
+    :func:`compile_megatrace` (many stitched segments, one builder) --
+    copy aliasing, constant folding and majority folds therefore work
+    identically *across* μProgram boundaries.
     """
-    if fault is not None and fault.active:
-        return _compile_fault(program, resolve, fault)
-    builder = _Builder()
     n_aap = n_ap = n_multi = 0
-    for op in program.ops:
+    for op in ops:
         src_ports = resolve(op.src)
         if len(src_ports) == 1:
             row, neg = src_ports[0]
@@ -649,6 +709,28 @@ def compile_trace(program, resolve: Callable, fault: FaultSpec = None):
             n_aap += 1
         else:
             n_ap += 1
+    return n_aap, n_ap, n_multi
+
+
+def compile_trace(program, resolve: Callable, fault: FaultSpec = None):
+    """Lower ``program`` (via ``resolve``: address -> port tuples) into a
+    :class:`CompiledTrace` (or, under an active ``fault`` spec, a
+    :class:`CompiledFaultTrace`).
+
+    ``resolve`` is the word backend's address map
+    (:meth:`~repro.dram.wordline.WordlineSubarray.resolve`): it returns
+    ``((physical_row, negated), ...)`` port tuples.  Compilation mirrors
+    the interpreted fault-free semantics op by op -- single-port senses
+    are pure reads, multi-row senses are destructive majorities written
+    back through every activated port, AAP destinations latch the
+    sensed value through each port's polarity.  With a fault spec, the
+    faulty activations additionally become XOR-flip nodes fed by the
+    replay-time fault pre-pass (see :class:`CompiledFaultTrace`).
+    """
+    if fault is not None and fault.active:
+        return _compile_fault(program, resolve, fault)
+    builder = _Builder()
+    n_aap, n_ap, n_multi = _walk_ops(builder, program.ops, resolve)
 
     # Final bindings: skip identity (row still holds its own entry value).
     finals: Dict[int, _Ref] = {}
@@ -737,25 +819,21 @@ def compile_trace(program, resolve: Callable, fault: FaultSpec = None):
         n_multi=n_multi)
 
 
-def _compile_fault(program, resolve: Callable,
-                   spec: FaultSpec) -> CompiledFaultTrace:
-    """Fault-aware lowering: every draw-taking activation is a node.
+def _walk_fault_ops(builder: _Builder, ops, resolve: Callable,
+                    spec: FaultSpec, draw_kinds: List[str],
+                    fault_meta: Dict[int, tuple]) -> tuple:
+    """Value-number a faulty op stream; returns (aap, ap, multi).
 
-    The walk mirrors the interpreted faulty semantics op by op.  A
-    multi-row sense (when ``p_cim > 0``) and a single-port sense (when
-    ``p_read > 0``) each allocate a fresh value -- ideal result XOR
-    flip mask -- and write it back destructively through every
-    activated port.  The per-activation draw schedule is recorded in
-    *original op order* so the replay-time pre-pass consumes the fault
-    model's RNG stream exactly as sequential ``corrupt`` calls would.
+    Appends one entry to ``draw_kinds`` per RNG draw the interpreter
+    would take, in original op order -- callers stitching several
+    segments through one builder pass the same lists back in, so the
+    cross-segment draw schedule stays stream-identical to sequential
+    execution.
     """
-    builder = _Builder()
     n_aap = n_ap = n_multi = 0
     single_faulty = spec.p_read > 0.0
     multi_mode = spec.multi_mode
-    draw_kinds: List[str] = []        # op-order rows: "cim" | "read"
-    fault_meta: Dict[int, tuple] = {}  # vid -> (cim/read draw rows)
-    for op in program.ops:
+    for op in ops:
         src_ports = resolve(op.src)
         if len(src_ports) == 1:
             row, neg = src_ports[0]
@@ -806,6 +884,26 @@ def _compile_fault(program, resolve: Callable,
             n_aap += 1
         else:
             n_ap += 1
+    return n_aap, n_ap, n_multi
+
+
+def _compile_fault(program, resolve: Callable,
+                   spec: FaultSpec) -> CompiledFaultTrace:
+    """Fault-aware lowering: every draw-taking activation is a node.
+
+    The walk mirrors the interpreted faulty semantics op by op.  A
+    multi-row sense (when ``p_cim > 0``) and a single-port sense (when
+    ``p_read > 0``) each allocate a fresh value -- ideal result XOR
+    flip mask -- and write it back destructively through every
+    activated port.  The per-activation draw schedule is recorded in
+    *original op order* so the replay-time pre-pass consumes the fault
+    model's RNG stream exactly as sequential ``corrupt`` calls would.
+    """
+    builder = _Builder()
+    draw_kinds: List[str] = []        # op-order rows: "cim" | "read"
+    fault_meta: Dict[int, tuple] = {}  # vid -> (cim/read draw rows)
+    n_aap, n_ap, n_multi = _walk_fault_ops(builder, program.ops, resolve,
+                                           spec, draw_kinds, fault_meta)
 
     # Final bindings: skip identity (row still holds its own entry value).
     finals: Dict[int, _Ref] = {}
@@ -894,3 +992,333 @@ def _compile_fault(program, resolve: Callable,
         n_ap=n_ap,
         n_activations=2 * n_aap + n_ap,
         n_multi=n_multi)
+
+
+# ----------------------------------------------------------------------
+# Whole-plan megatraces: many μPrograms + interleaved host mask writes
+# stitched into one trace (paper Secs. 5.1-5.2 at query granularity).
+# ----------------------------------------------------------------------
+class MegaProgram:
+    """A whole replay sequence stitched across host mask writes.
+
+    ``segments[i]`` is the (already engine-assembled) μProgram of wave
+    ``i``; before each segment the ``stream_row`` data row is rebound
+    to row ``i`` of the replay-time *stream* operand (the packed wave
+    masks) -- exactly the ``load_mask_packed`` + ``run_program``
+    sequence the per-wave path executes, expressed as one dataflow
+    graph.  Compiled and LRU-cached per subarray by
+    :meth:`~repro.dram.wordline.WordlineSubarray.run_megaprogram`.
+    """
+
+    __slots__ = ("name", "segments", "stream_row")
+
+    def __init__(self, name: str, segments, stream_row):
+        self.name = name
+        self.segments = tuple(segments)
+        self.stream_row = stream_row
+
+    @property
+    def n_segments(self) -> int:
+        return len(self.segments)
+
+
+@dataclass(eq=False)
+class MegaTrace(CompiledTrace):
+    """A stitched multi-segment replay (fault-free lowering).
+
+    Identical replay machinery to :class:`CompiledTrace`; the only
+    difference is the input stage: live inputs gather from *two*
+    sources -- the cell matrix and the external per-segment stream --
+    as at most four contiguous ``take`` segments (``fills``), ordered
+    [mirrored cells, mirrored exts, plain cells, plain exts] so the
+    mirrored prefix still materializes with one prefix invert.  The
+    final scatter includes the stream row's last binding, so the mask
+    row ends exactly as the per-wave ``load_mask_packed`` sequence
+    leaves it.
+    """
+
+    fills: Tuple[tuple, ...] = ()     # (from_stream, indices, lo, hi)
+    n_segments: int = 0
+
+    @property
+    def n_inputs(self) -> int:
+        return int(sum(hi - lo for _, _, lo, hi in self.fills))
+
+    def _fill_plan(self, vals: np.ndarray) -> tuple:
+        return tuple((from_stream, idx, vals[lo:hi])
+                     for from_stream, idx, lo, hi in self.fills)
+
+
+@dataclass(eq=False)
+class MegaFaultTrace(CompiledFaultTrace):
+    """A stitched multi-segment replay under an active fault model.
+
+    The fault pre-pass covers the *whole stitched sequence*: draw rows
+    of every segment are recorded in original op order across segment
+    boundaries, so one replay consumes the fault model's RNG stream
+    exactly as the per-wave sequence of ``corrupt`` calls would (and
+    leaves the generator in the identical terminal state).  Pre-draws
+    run blockwise so a long mega never materializes the full uniform
+    block at once -- block splits are stream-transparent because
+    ``Generator.random`` fills row-major.
+    """
+
+    fills: Tuple[tuple, ...] = ()     # (from_stream, indices, lo, hi)
+    n_segments: int = 0
+
+    @property
+    def n_inputs(self) -> int:
+        return int(sum(hi - lo for _, _, lo, hi in self.fills))
+
+    def _draw_flips(self, fault_model, n_cols: int) -> np.ndarray:
+        n_draws = self.draw_thresholds.size
+        block = max(1, (1 << 24) // max(1, int(n_cols)))
+        if n_draws <= block:
+            return super()._draw_flips(fault_model, n_cols)
+        pack_rows = _packer()
+        flips = np.empty((n_draws, (int(n_cols) + 63) // 64),
+                         dtype=np.uint64)
+        for lo in range(0, n_draws, block):
+            hi = min(lo + block, n_draws)
+            uniform = fault_model.predraw(hi - lo, n_cols)
+            flips[lo:hi] = pack_rows(
+                uniform < self.draw_thresholds[lo:hi, None])
+        return flips
+
+    def _fill_inputs(self, cells: np.ndarray, stream, vals) -> None:
+        for from_stream, idx, lo, hi in self.fills:
+            if hi > lo:
+                np.take(stream if from_stream else cells, idx, axis=0,
+                        out=vals[lo:hi])
+
+
+def _assign_input_slots(builder: _Builder, live, mirrored,
+                        slot: Dict[int, int]) -> tuple:
+    """Slot the live inputs (``("in", row)`` and ``("ext", i)`` defs).
+
+    Orders them [mirrored cells, mirrored exts, plain cells, plain
+    exts]: the mirrored prefix stays contiguous (one prefix invert at
+    replay) and each source gathers as at most two contiguous ``take``
+    segments.  Returns ``(fills, n_input_mirror, n_inputs)``.
+    """
+    input_vids = [vid for vid in sorted(live)
+                  if builder.defs[vid][0] in ("in", "ext")]
+    input_vids.sort(key=lambda vid: (vid not in mirrored,
+                                     builder.defs[vid][0] == "ext"))
+    for position, vid in enumerate(input_vids):
+        slot[vid] = position
+    n_input_mirror = sum(1 for vid in input_vids if vid in mirrored)
+    runs: List[list] = []
+    for position, vid in enumerate(input_vids):
+        kind, index = builder.defs[vid]
+        if runs and runs[-1][0] == (kind == "ext"):
+            runs[-1][1].append(index)
+        else:
+            runs.append([kind == "ext", [index], position])
+    fills = tuple(
+        (from_stream, np.asarray(indices, dtype=np.intp), lo,
+         lo + len(indices))
+        for from_stream, indices, lo in runs)
+    return fills, n_input_mirror, len(input_vids)
+
+
+def compile_megatrace(mega: MegaProgram, resolve: Callable,
+                      fault: FaultSpec = None):
+    """Lower a :class:`MegaProgram` into one stitched trace.
+
+    One :class:`_Builder` walks every segment in sequence -- the same
+    copy-aliasing / constant-folding / dead-write-elimination /
+    level-scheduling passes as :func:`compile_trace`, now working
+    *across* μProgram boundaries: a wave's final counter-row writes
+    feed the next wave's reads as SSA values, so cross-wave
+    intermediate scatters fold away entirely.  Before each segment the
+    mega's stream row is rebound to that segment's external input (the
+    host mask write).  Under an active ``fault`` spec the lowering
+    mirrors :func:`_compile_fault` with the draw schedule spanning all
+    segments in op order.
+    """
+    if fault is not None and fault.active:
+        return _compile_fault_mega(mega, resolve, fault)
+    builder = _Builder()
+    stream_row = resolve(mega.stream_row)[0][0]
+    n_aap = n_ap = n_multi = 0
+    for index, segment in enumerate(mega.segments):
+        builder.rebind_stream(stream_row, index)
+        aap, ap, multi = _walk_ops(builder, segment.ops, resolve)
+        n_aap += aap
+        n_ap += ap
+        n_multi += multi
+
+    # Final bindings: skip identity (row still holds its own entry value).
+    finals: Dict[int, _Ref] = {}
+    for row, ref in builder.current.items():
+        if builder.defs[ref[0]] == ("in", row) and not ref[1]:
+            continue
+        finals[row] = ref
+
+    # Dead-write elimination across the whole stitched sequence.
+    live = set()
+    stack = [ref[0] for ref in finals.values()]
+    while stack:
+        vid = stack.pop()
+        if vid in live:
+            continue
+        live.add(vid)
+        definition = builder.defs[vid]
+        if definition[0] == "maj":
+            stack.extend(ref[0] for ref in definition[1:])
+
+    mirrored = {ref[0] for ref in finals.values() if ref[1]}
+    for vid in live:
+        definition = builder.defs[vid]
+        if definition[0] == "maj":
+            mirrored.update(ref[0] for ref in definition[1:] if ref[1])
+
+    slot: Dict[int, int] = {}
+    fills, n_input_mirror, n_inputs = _assign_input_slots(
+        builder, live, mirrored, slot)
+    depth: Dict[int, int] = {vid: 0 for vid in slot}
+    by_level: Dict[int, List[int]] = {}
+    for vid in sorted(live):                     # creation = program order
+        definition = builder.defs[vid]
+        if definition[0] != "maj":
+            continue
+        level = 1 + max(depth[ref[0]] for ref in definition[1:])
+        depth[vid] = level
+        by_level.setdefault(level, []).append(vid)
+    next_slot = n_inputs
+    level_specs: List[tuple] = []
+    for level in sorted(by_level):
+        vids = sorted(by_level[level], key=lambda vid: vid not in mirrored)
+        lo = next_slot
+        for vid in vids:
+            slot[vid] = next_slot
+            next_slot += 1
+        n_mirror = sum(1 for vid in vids if vid in mirrored)
+        level_specs.append((lo, next_slot, n_mirror, vids))
+
+    def flat_slot(ref: _Ref) -> int:
+        return slot[ref[0]] + (next_slot if ref[1] else 0)
+
+    levels: List[_Level] = []
+    for lo, hi, n_mirror, vids in level_specs:
+        idx = np.empty(3 * len(vids), dtype=np.intp)
+        for j, vid in enumerate(vids):
+            for i, ref in enumerate(builder.defs[vid][1:]):
+                idx[i * len(vids) + j] = flat_slot(ref)
+        levels.append(_Level(lo, hi, idx, n_mirror))
+
+    out_rows = np.asarray(sorted(finals), dtype=np.intp)
+    out_slots = np.asarray([flat_slot(finals[row]) for row in out_rows],
+                           dtype=np.intp)
+
+    return MegaTrace(
+        input_rows=np.empty(0, dtype=np.intp),
+        n_input_mirror=n_input_mirror,
+        n_slots=next_slot,
+        levels=tuple(levels),
+        out_rows=out_rows,
+        out_slots=out_slots,
+        n_aap=n_aap,
+        n_ap=n_ap,
+        n_activations=2 * n_aap + n_ap,
+        n_multi=n_multi,
+        fills=fills,
+        n_segments=len(mega.segments))
+
+
+def _compile_fault_mega(mega: MegaProgram, resolve: Callable,
+                        spec: FaultSpec) -> MegaFaultTrace:
+    """Fault-aware stitched lowering (see :func:`_compile_fault`)."""
+    builder = _Builder()
+    stream_row = resolve(mega.stream_row)[0][0]
+    draw_kinds: List[str] = []
+    fault_meta: Dict[int, tuple] = {}
+    n_aap = n_ap = n_multi = 0
+    for index, segment in enumerate(mega.segments):
+        builder.rebind_stream(stream_row, index)
+        aap, ap, multi = _walk_fault_ops(builder, segment.ops, resolve,
+                                         spec, draw_kinds, fault_meta)
+        n_aap += aap
+        n_ap += ap
+        n_multi += multi
+
+    finals: Dict[int, _Ref] = {}
+    for row, ref in builder.current.items():
+        if builder.defs[ref[0]] == ("in", row) and not ref[1]:
+            continue
+        finals[row] = ref
+
+    # Liveness: final bindings AND every fault node (see _compile_fault).
+    live = set()
+    stack = [ref[0] for ref in finals.values()] + list(fault_meta)
+    while stack:
+        vid = stack.pop()
+        if vid in live:
+            continue
+        live.add(vid)
+        definition = builder.defs[vid]
+        if definition[0] in ("maj", "rd"):
+            stack.extend(ref[0] for ref in definition[1:])
+
+    mirrored = {ref[0] for ref in finals.values() if ref[1]}
+    for vid in live:
+        definition = builder.defs[vid]
+        if definition[0] in ("maj", "rd"):
+            mirrored.update(ref[0] for ref in definition[1:] if ref[1])
+
+    slot: Dict[int, int] = {}
+    fills, n_input_mirror, n_inputs = _assign_input_slots(
+        builder, live, mirrored, slot)
+    node_vids = [vid for vid in sorted(live)
+                 if builder.defs[vid][0] not in ("in", "ext")]
+    next_slot = n_inputs
+    for vid in node_vids:
+        slot[vid] = next_slot
+        next_slot += 1
+    n_slots = next_slot
+
+    def flat_slot(ref: _Ref) -> int:
+        return slot[ref[0]] + (n_slots if ref[1] else 0)
+
+    steps: List[tuple] = []
+    for vid in node_vids:
+        definition = builder.defs[vid]
+        mir = vid in mirrored
+        meta = fault_meta.get(vid)
+        if definition[0] == "rd":
+            steps.append(("rd", flat_slot(definition[1]), slot[vid],
+                          mir, meta[1]))
+        elif meta is None:
+            steps.append(("mx", flat_slot(definition[1]),
+                          flat_slot(definition[2]),
+                          flat_slot(definition[3]), slot[vid], mir,
+                          -1, -1))
+        else:
+            steps.append(("mj", flat_slot(definition[1]),
+                          flat_slot(definition[2]),
+                          flat_slot(definition[3]), slot[vid], mir,
+                          meta[0], -1 if meta[1] is None else meta[1]))
+
+    out_rows = np.asarray(sorted(finals), dtype=np.intp)
+    out_slots = np.asarray([flat_slot(finals[row]) for row in out_rows],
+                           dtype=np.intp)
+    thresholds = np.asarray(
+        [spec.p_cim if kind == "cim" else spec.p_read
+         for kind in draw_kinds], dtype=np.float64)
+
+    return MegaFaultTrace(
+        spec=spec,
+        input_rows=np.empty(0, dtype=np.intp),
+        n_input_mirror=n_input_mirror,
+        n_slots=n_slots,
+        steps=tuple(steps),
+        out_rows=out_rows,
+        out_slots=out_slots,
+        draw_thresholds=thresholds,
+        n_aap=n_aap,
+        n_ap=n_ap,
+        n_activations=2 * n_aap + n_ap,
+        n_multi=n_multi,
+        fills=fills,
+        n_segments=len(mega.segments))

@@ -269,6 +269,8 @@ class Campaign:
             "measured_ops": int(stats.measured_ops),
             "trace_compiles": int(stats.trace_compiles),
             "trace_replays": int(stats.trace_replays),
+            "megatrace_compiles": int(stats.megatrace_compiles),
+            "megatrace_replays": int(stats.megatrace_replays),
         }
 
     def _run_point_trial(self, index: int, point: FaultPoint,
@@ -366,4 +368,8 @@ class Campaign:
         row["mean_ops"] = float(np.mean(totals.get("measured_ops", [0])))
         row["trace_replays"] = int(np.sum(totals.get("trace_replays",
                                                      [0])))
+        row["megatrace_compiles"] = int(np.sum(
+            totals.get("megatrace_compiles", [0])))
+        row["megatrace_replays"] = int(np.sum(
+            totals.get("megatrace_replays", [0])))
         return row

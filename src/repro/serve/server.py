@@ -288,6 +288,10 @@ class Server:
                 trace_replays=after.trace_replays - before.trace_replays,
                 injected_faults=(after.injected_faults
                                  - before.injected_faults),
+                megatrace_compiles=(after.megatrace_compiles
+                                    - before.megatrace_compiles),
+                megatrace_replays=(after.megatrace_replays
+                                   - before.megatrace_replays),
                 timing=self.timing, energy=self.energy)
         except BaseException as exc:          # noqa: BLE001 - to futures
             for pending in live:

@@ -54,7 +54,14 @@ class ExecutionReport:
         traces vs. traces re-executed from cache.  A steady-state query
         against a warm plan replays only; compiles indicate cold
         programs (new magnitudes, re-plans).  Both are zero on the bit
-        backend and under active fault models, which bypass fusion.
+        backend (which never fuses).
+    megatrace_compiles / megatrace_replays:
+        The wave's *stitched* whole-sequence trace activity (deltas of
+        the plan's counters): on the word path each query's entire
+        wave sequence executes as a handful of megatraces, so a warm
+        plan's steady state shows megatrace replays with near-zero
+        per-μProgram activity.  Both stay zero on the bit backend and
+        inside :func:`repro.isa.trace.megatrace_disabled` scopes.
     cost:
         The wave's :class:`~repro.perf.metrics.CostReport` built by
         :func:`~repro.perf.metrics.measured_cost` -- latency from
@@ -89,6 +96,8 @@ class ExecutionReport:
     trace_compiles: int = 0
     trace_replays: int = 0
     injected_faults: int = 0
+    megatrace_compiles: int = 0
+    megatrace_replays: int = 0
 
     @property
     def coalesced(self) -> bool:
@@ -111,6 +120,8 @@ class ExecutionReport:
                       nominal_ops: float = 0.0, evictions: int = 0,
                       trace_compiles: int = 0, trace_replays: int = 0,
                       injected_faults: int = 0,
+                      megatrace_compiles: int = 0,
+                      megatrace_replays: int = 0,
                       timing: TimingParams = DDR5_4400_TIMING,
                       energy: Optional[EnergyModel] = None
                       ) -> "ExecutionReport":
@@ -131,4 +142,6 @@ class ExecutionReport:
                    evictions=int(evictions),
                    trace_compiles=int(trace_compiles),
                    trace_replays=int(trace_replays),
-                   injected_faults=int(injected_faults))
+                   injected_faults=int(injected_faults),
+                   megatrace_compiles=int(megatrace_compiles),
+                   megatrace_replays=int(megatrace_replays))

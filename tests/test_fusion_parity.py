@@ -328,13 +328,13 @@ def test_dispatch_wave_order_is_first_occurrence(monkeypatch):
     cluster = BankCluster(n_bits=2, n_digits=4, lanes_per_bank=2,
                           n_banks=1)
     seen = []
-    original = cluster.engine.accumulate
+    original = cluster.engine.run_waves
 
-    def spy(value, mask_index=0):
-        seen.append(value)
-        return original(value, mask_index)
+    def spy(magnitudes, packed_masks, mask_index=0):
+        seen.extend(int(m) for m in magnitudes)
+        return original(magnitudes, packed_masks, mask_index)
 
-    monkeypatch.setattr(cluster.engine, "accumulate", spy)
+    monkeypatch.setattr(cluster.engine, "run_waves", spy)
     cluster.dispatch([(5, [1, 0]), (2, [0, 1]), (5, [1, 1]),
                       (9, [1, 0]), (2, [1, 0])])
     # Group order = first occurrence; within a group, arrival order.

@@ -560,3 +560,89 @@ class TestCloseSubmitRace:
         for future in futures:
             # Never stranded: each resolves promptly one way or another.
             future.exception(timeout=10)
+
+
+class TestBatchAxisSeam:
+    """The batch axis: one coalesced wave is a single stacked pass
+    through ``run_many`` / ``run_waves`` / megatraces -- and must stay
+    bit-identical, per query, to serial ``submit()`` calls, with the
+    report deltas accounting for the stitched path."""
+
+    def _burst(self, srv, xs):
+        return [f.result() for f in srv.submit_many("m", xs)]
+
+    def test_coalesced_wave_matches_serial_submits_bit_exact(self, rng):
+        z = rng.integers(-1, 2, (8, 12)).astype(np.int8)
+        xs = rng.integers(-4, 5, (6, 8))
+        with Server(n_bits=2, pool_banks=64) as srv:
+            srv.register("m", z, kind="ternary")
+            serial = [srv.query("m", x) for x in xs]
+        with Server(n_bits=2, pool_banks=64) as srv:
+            srv.register("m", z, kind="ternary")
+            coalesced = self._burst(srv, xs)
+        exact = xs @ z
+        assert (np.stack([r.y for r in serial]) == exact).all()
+        assert (np.stack([r.y for r in coalesced]) == exact).all()
+        assert all(r.report.batch_size == 1 for r in serial)
+        assert all(r.report.batch_size == len(xs) for r in coalesced)
+        # One wave, one measured-op delta, shared by every rider.
+        assert len({id(r.report) for r in coalesced}) == 1
+        assert coalesced[0].report.broadcasts > 0
+        # Broadcast sharing: the coalesced wave's command stream is
+        # cheaper than the serial queries' combined streams.
+        assert coalesced[0].report.measured_ops < sum(
+            r.report.measured_ops for r in serial)
+
+    def test_warm_coalesced_wave_replays_megatraces(self, rng):
+        """Burst 1 warms up (literal per-wave), burst 2 compiles the
+        stitched traces, burst 3 is pure megatrace replay -- each
+        burst's results bit-identical to the exact product."""
+        z = rng.integers(-1, 2, (8, 12)).astype(np.int8)
+        xs = rng.integers(-4, 5, (6, 8))
+        with Server(n_bits=2, pool_banks=64) as srv:
+            srv.register("m", z, kind="ternary")
+            bursts = [self._burst(srv, xs) for _ in range(3)]
+        exact = xs @ z
+        for burst in bursts:
+            assert (np.stack([r.y for r in burst]) == exact).all()
+        reports = [burst[0].report for burst in bursts]
+        assert reports[0].megatrace_compiles == 0
+        assert reports[0].megatrace_replays == 0
+        assert reports[1].megatrace_compiles > 0
+        assert reports[2].megatrace_compiles == 0
+        assert reports[2].megatrace_replays > 0
+
+    def test_faulted_coalesced_waves_identical_without_megatraces(
+            self, rng):
+        """Under an active FaultModel the stitched batch path must be
+        draw-for-draw identical to the per-wave path: same per-query
+        results, same injected-fault deltas, same terminal RNG state
+        across identically seeded servers."""
+        import contextlib
+
+        from repro.isa.trace import megatrace_disabled
+
+        z = rng.integers(-1, 2, (8, 12)).astype(np.int8)
+        xs = rng.integers(1, 5, (5, 8))
+
+        def serve(ctx):
+            fm = FaultModel(p_cim=8e-3, p_read=1e-3, seed=17)
+            with ctx, Server(n_bits=2, fault_model=fm,
+                             pool_banks=64) as srv:
+                srv.register("m", z, kind="ternary")
+                return [self._burst(srv, xs) for _ in range(3)], fm
+
+        mega_bursts, fm_mega = serve(contextlib.nullcontext())
+        plain_bursts, fm_plain = serve(megatrace_disabled())
+        for mega, plain in zip(mega_bursts, plain_bursts):
+            assert (np.stack([r.y for r in mega])
+                    == np.stack([r.y for r in plain])).all()
+            assert (mega[0].report.injected_faults
+                    == plain[0].report.injected_faults)
+        assert fm_mega.injected == fm_plain.injected
+        assert fm_mega.injected > 0
+        assert (fm_mega._rng.bit_generator.state["state"]
+                == fm_plain._rng.bit_generator.state["state"])
+        assert mega_bursts[2][0].report.megatrace_replays > 0
+        assert all(b[0].report.megatrace_replays == 0
+                   for b in plain_bursts)
