@@ -1,7 +1,10 @@
 """Application workloads: DNA pre-alignment filtering, the BERT attention
-proxy, ternary-weight CNNs, GCNs, workload inventories, and the fast
-fault-injected accumulator models they share."""
+proxy, ternary-weight CNNs, GCNs, in-memory analytics (histogram, radix
+sort, group-by), workload inventories, and the fast fault-injected
+accumulator models they share."""
 
+from repro.apps.analytics import (GroupByPlan, HistogramPlan,
+                                  histogram_fault_trial, radix_sort)
 from repro.apps.bert import BertProxy, BertProxyConfig, embedding_histogram
 from repro.apps.dna import (DNAFilterConfig, DNAFilterWorkload, filtering_f1,
                             token_repetition_histogram)
@@ -16,6 +19,7 @@ from repro.apps.workloads import (LLAMA_SHAPES, WORKLOAD_NAMES, WorkloadLayer,
                                   layer_inventory)
 
 __all__ = [
+    "GroupByPlan", "HistogramPlan", "histogram_fault_trial", "radix_sort",
     "BertProxy", "BertProxyConfig", "embedding_histogram",
     "DNAFilterConfig", "DNAFilterWorkload", "filtering_f1",
     "token_repetition_histogram",

@@ -728,6 +728,16 @@ class GemvPlan:
             return per_slot[:, :self.n] - per_slot[:, self.n:]
         return per_slot
 
+    def nominal_query_ops(self, xs: np.ndarray) -> float:
+        """Analytical op count of a query batch: ``2 * Q * K * N``.
+
+        The serving telemetry divides this into the wave's *measured*
+        op delta for its efficiency ratio; every plan kind defines its
+        own nominal unit (a GEMV wave's is the dense multiply-add
+        count of ``xs @ Z``).
+        """
+        return 2.0 * np.asarray(xs).shape[0] * self.k * self.n
+
     # ------------------------------------------------------------------
     def protection_stats(self):
         """Aggregate ECC detection/retry stats over the live engines.
@@ -817,6 +827,9 @@ class GemmPlan:
     def unpark(self) -> None:
         self._gemv.unpark()
 
+    def nominal_query_ops(self, xs: np.ndarray) -> float:
+        return self._gemv.nominal_query_ops(xs)
+
     def __call__(self, xs: np.ndarray) -> np.ndarray:
         return self._gemv.run_many(xs)
 
@@ -875,27 +888,69 @@ class Device:
 
     # ------------------------------------------------------------------
     def plan_gemv(self, z: np.ndarray, kind: Optional[str] = None,
-                  x_budget: Optional[int] = None) -> GemvPlan:
-        """Plant ``z`` for streamed GEMV queries (``y = x @ z``)."""
+                  x_budget: Optional[int] = None,
+                  unsigned: bool = False) -> GemvPlan:
+        """Plant ``z`` for streamed GEMV queries (``y = x @ z``).
+
+        ``unsigned=True`` declares that only non-negative inputs will
+        ever stream against the plan, which lets a {0, 1} matrix (e.g.
+        one-hot histogram bucket masks) infer ``kind="binary"`` without
+        an :class:`AmbiguousKindWarning` -- see
+        :func:`repro.kernels.lowering.infer_kind`.
+        """
         self._check_open()
-        plan = GemvPlan(self, z, self._resolve_kind(z, kind),
+        plan = GemvPlan(self, z, self._resolve_kind(z, kind, unsigned),
                         x_budget=x_budget)
         return self._adopt(plan)
 
     def plan_gemm(self, z: np.ndarray, kind: Optional[str] = None,
-                  x_budget: Optional[int] = None) -> GemmPlan:
+                  x_budget: Optional[int] = None,
+                  unsigned: bool = False) -> GemmPlan:
         """Plant ``z`` for streamed GEMM queries (``Y = X @ z``)."""
         self._check_open()
-        plan = GemmPlan(self, z, self._resolve_kind(z, kind),
+        plan = GemmPlan(self, z, self._resolve_kind(z, kind, unsigned),
                         x_budget=x_budget)
         return self._adopt(plan)
 
+    def plan_histogram(self, n_buckets: Optional[int] = None,
+                       edges: Optional[np.ndarray] = None,
+                       query_len: Optional[int] = None,
+                       x_budget: Optional[int] = None):
+        """Plan an in-memory histogram over ``n_buckets`` counter lanes.
+
+        See :class:`repro.apps.analytics.HistogramPlan`: every key in a
+        streamed query becomes a one-hot masked increment of its
+        bucket's counter, and batches ride the same coalesced wave /
+        megatrace path as GEMV plans.
+        """
+        self._check_open()
+        from repro.apps.analytics import HistogramPlan
+        return self._adopt(HistogramPlan(self, n_buckets, edges=edges,
+                                         query_len=query_len,
+                                         x_budget=x_budget))
+
+    def plan_groupby(self, n_groups: int, agg: str = "sum",
+                     query_len: Optional[int] = None,
+                     x_budget: Optional[int] = None):
+        """Plan a group-by-aggregate over ``n_groups`` (count or sum).
+
+        See :class:`repro.apps.analytics.GroupByPlan`: value sums reuse
+        the ternary magnitude path (value-magnitude waves against
+        group-membership masks, signed halves folded at read-out).
+        """
+        self._check_open()
+        from repro.apps.analytics import GroupByPlan
+        return self._adopt(GroupByPlan(self, n_groups, agg=agg,
+                                       query_len=query_len,
+                                       x_budget=x_budget))
+
     # ------------------------------------------------------------------
-    def _resolve_kind(self, z: np.ndarray, kind: Optional[str]) -> str:
+    def _resolve_kind(self, z: np.ndarray, kind: Optional[str],
+                      unsigned: bool = False) -> str:
         """Explicit ``kind`` wins; inference warns when ambiguous."""
         if kind is not None:
             return kind
-        inferred, ambiguous = infer_kind(z)
+        inferred, ambiguous = infer_kind(z, unsigned=unsigned)
         if ambiguous:
             warnings.warn(
                 f"Z has no -1 entries, so kind={inferred!r} was guessed; "

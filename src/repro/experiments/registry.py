@@ -105,6 +105,7 @@ def run_experiment(name: str, quick: bool = True) -> ExperimentResult:
 
 def _load_all() -> None:
     """Import every experiment module so registrations take effect."""
-    from repro.experiments import (fig03, fig04, fig07, fig08, fig09,  # noqa
-                                   fig10, fig14, fig15, fig16, fig17,
-                                   fig18, fig19, reliability, table1)
+    from repro.experiments import (analytics, fig03, fig04, fig07,  # noqa
+                                   fig08, fig09, fig10, fig14, fig15,
+                                   fig16, fig17, fig18, fig19,
+                                   reliability, table1)

@@ -84,7 +84,7 @@ def cluster_for(n_updates: int, n_bits: int, n_digits: int, lanes: int,
                        scheduler=scheduler)
 
 
-def infer_kind(z: np.ndarray) -> Tuple[str, bool]:
+def infer_kind(z: np.ndarray, unsigned: bool = False) -> Tuple[str, bool]:
     """Infer a plan kind from Z's entries: ``(kind, ambiguous)``.
 
     A ``-1`` entry pins the matrix as ternary.  Without one, every
@@ -95,16 +95,29 @@ def infer_kind(z: np.ndarray) -> Tuple[str, bool]:
     ``kind=`` explicitly.  Entries outside {-1, 0, 1} resolve to
     ``"ternary"`` so plan validation reports the range error.
 
+    ``unsigned=True`` declares the *input stream* pure non-negative
+    (unsigned counts), which is exactly the contract a binary plan
+    enforces -- so a {0, 1} matrix resolves to ``"binary"``
+    *unambiguously*.  This is the analytics seam: histogram bucket
+    masks are one-hot {0, 1} matrices accumulating count streams, and
+    must not trip :class:`~repro.device.AmbiguousKindWarning`.  A
+    matrix with ``-1`` entries stays ternary regardless (the flag
+    describes the inputs, not the matrix).
+
     >>> infer_kind(np.array([[1, -1]]))
     ('ternary', False)
     >>> infer_kind(np.array([[1, 0]]))          # no -1: could be either
     ('binary', True)
     >>> infer_kind(np.zeros((2, 2)))
     ('binary', True)
+    >>> infer_kind(np.eye(3), unsigned=True)    # one-hot bucket masks
+    ('binary', False)
+    >>> infer_kind(np.array([[1, -1]]), unsigned=True)
+    ('ternary', False)
     """
     z = np.asarray(z)
     if np.isin(z, (0, 1)).all():
-        return "binary", True
+        return "binary", not unsigned
     return "ternary", False
 
 

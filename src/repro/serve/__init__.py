@@ -28,11 +28,13 @@ from repro.serve.pool import BankLease, BankPool, PoolExhausted
 
 __all__ = ["BankPool", "BankLease", "PoolExhausted", "ModelRegistry",
            "RegistryStats", "Server", "Response", "ServerStats",
-           "ExecutionReport"]
+           "ExecutionReport", "UnsupportedPlanKindError", "PLAN_KINDS"]
 
 _LAZY = {
     "ModelRegistry": "repro.serve.registry",
     "RegistryStats": "repro.serve.registry",
+    "UnsupportedPlanKindError": "repro.serve.registry",
+    "PLAN_KINDS": "repro.serve.registry",
     "Server": "repro.serve.server",
     "Response": "repro.serve.server",
     "ServerStats": "repro.serve.server",

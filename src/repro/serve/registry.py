@@ -12,16 +12,26 @@ parked plan transparently re-plants its masks and
 ``import_counters()`` the image back (see :meth:`GemvPlan.park` /
 :meth:`~repro.device.GemvPlan.unpark`).
 
+Models are not all GEMVs: ``register`` takes a plan ``kind`` seam, so
+analytics plans (:mod:`repro.apps.analytics`) cache, evict and coalesce
+exactly like matrix models -- ``kind="histogram"`` / ``"groupby"``
+build key-stream plans (no ``z``), anything unknown raises
+:class:`UnsupportedPlanKindError` up front rather than failing deep in
+the scheduler.
+
 >>> import numpy as np
 >>> from repro.device import Device
 >>> from repro.serve.pool import BankPool
->>> dev = Device(pool=BankPool(8))
+>>> dev = Device(pool=BankPool(16))
 >>> reg = ModelRegistry(dev)
 >>> plan = reg.register("tiny", np.eye(2, dtype=np.uint8), kind="binary")
 >>> reg.run("tiny", lambda p: p(np.array([3, 5])))
 array([3, 5])
+>>> hist = reg.register("hist", kind="histogram", n_buckets=4)
+>>> reg.run("hist", lambda p: p(np.array([0, 2, 2, 3])))
+array([1, 0, 2, 1])
 >>> sorted(reg.names()), reg.stats.misses
-(['tiny'], 1)
+(['hist', 'tiny'], 2)
 """
 
 from __future__ import annotations
@@ -35,7 +45,22 @@ import numpy as np
 from repro.device import Device
 from repro.serve.pool import PoolExhausted
 
-__all__ = ["ModelRegistry", "RegistryStats"]
+__all__ = ["ModelRegistry", "RegistryStats", "UnsupportedPlanKindError",
+           "PLAN_KINDS"]
+
+#: Plan kinds the registry knows how to build.  ``None`` falls back to
+#: GEMV kind inference (see :func:`repro.kernels.lowering.infer_kind`).
+PLAN_KINDS = ("binary", "ternary", "histogram", "groupby")
+
+
+class UnsupportedPlanKindError(ValueError):
+    """``register`` was asked for a plan kind the serve layer lacks.
+
+    Raised at registration -- the one place the kind is declared --
+    so a typo or an unported workload fails with a clear message
+    instead of surfacing as a shape error deep inside a coalesced
+    scheduler wave.
+    """
 
 
 @dataclass(frozen=True)
@@ -88,18 +113,48 @@ class ModelRegistry:
         self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
-    def register(self, name: str, z: np.ndarray, kind: Optional[str] = None,
-                 x_budget: Optional[int] = None):
-        """Plant ``z`` under ``name`` and return the (lazy) plan.
+    def register(self, name: str, z: Optional[np.ndarray] = None,
+                 kind: Optional[str] = None,
+                 x_budget: Optional[int] = None, **plan_kwargs):
+        """Register one model's plan under ``name`` and return it (lazy).
 
-        Planting is host-side only; engines are built -- and banks
-        leased -- on first use.  Re-registering a live name raises;
-        :meth:`unregister` first to replace a model.
+        ``kind`` selects the plan family: ``None`` / ``"binary"`` /
+        ``"ternary"`` plant the operand matrix ``z`` as a GEMV plan;
+        ``"histogram"`` / ``"groupby"`` build analytics plans (``z``
+        must be omitted; ``plan_kwargs`` carry their geometry --
+        ``n_buckets``/``edges`` or ``n_groups``/``agg``, plus
+        ``query_len``).  Any other kind raises
+        :class:`UnsupportedPlanKindError`.  Planting is host-side only;
+        engines are built -- and banks leased -- on first use.
+        Re-registering a live name raises; :meth:`unregister` first to
+        replace a model.
         """
+        if kind is not None and kind not in PLAN_KINDS:
+            raise UnsupportedPlanKindError(
+                f"plan kind {kind!r} is not servable; supported kinds: "
+                f"{list(PLAN_KINDS)}")
         with self._lock:
             if name in self._entries:
                 raise ValueError(f"model {name!r} is already registered")
-            plan = self.device.plan_gemv(z, kind=kind, x_budget=x_budget)
+            if kind == "histogram":
+                if z is not None:
+                    raise ValueError("histogram models take no operand "
+                                     "matrix z")
+                plan = self.device.plan_histogram(x_budget=x_budget,
+                                                  **plan_kwargs)
+            elif kind == "groupby":
+                if z is not None:
+                    raise ValueError("groupby models take no operand "
+                                     "matrix z")
+                plan = self.device.plan_groupby(x_budget=x_budget,
+                                                **plan_kwargs)
+            else:
+                if z is None:
+                    raise ValueError(f"a {kind or 'GEMV'} model needs "
+                                     f"its operand matrix z")
+                plan = self.device.plan_gemv(z, kind=kind,
+                                             x_budget=x_budget,
+                                             **plan_kwargs)
             self._entries[name] = _Entry(name, plan)
             return plan
 

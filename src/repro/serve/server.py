@@ -18,12 +18,22 @@ one DRAM module, streams of queries from many clients):
   ExecutionReport` priced from the wave's *measured* op delta, so
   latency/energy reflect the command stream that actually executed.
 
+Tenants need not be GEMVs: any plan kind the registry knows (the
+analytics histogram / group-by plans included) shares the same pool,
+cache, scheduler and telemetry -- the per-query
+:class:`~repro.serve.telemetry.ExecutionReport` is priced from measured
+op deltas, never from matrix shapes.
+
 >>> import numpy as np
 >>> with Server(n_bits=2, pool_banks=16) as srv:
 ...     _ = srv.register("eye", np.eye(3, dtype=np.uint8), kind="binary")
+...     _ = srv.register("hist", kind="histogram", n_buckets=3)
 ...     resp = srv.query("eye", np.array([4, 0, 9]))
+...     counts = srv.query("hist", np.array([0, 2, 2])).y
 >>> resp.y
 array([4, 0, 9])
+>>> counts
+array([1, 0, 2])
 >>> resp.report.measured_ops > 0
 True
 """
@@ -143,12 +153,22 @@ class Server:
     # ------------------------------------------------------------------
     # model management
     # ------------------------------------------------------------------
-    def register(self, name: str, z: np.ndarray,
+    def register(self, name: str, z: Optional[np.ndarray] = None,
                  kind: Optional[str] = None,
-                 x_budget: Optional[int] = None):
-        """Register a model: plant ``z`` under ``name`` (lazy engines)."""
+                 x_budget: Optional[int] = None, **plan_kwargs):
+        """Register a model under ``name`` (lazy engines).
+
+        GEMV kinds plant ``z``; analytics kinds (``"histogram"`` /
+        ``"groupby"``) take their geometry through ``plan_kwargs``
+        instead of a matrix, and unknown kinds raise
+        :class:`~repro.serve.registry.UnsupportedPlanKindError` -- see
+        :meth:`ModelRegistry.register`.  Analytics queries coalesce
+        into ``run_many`` waves exactly like GEMV queries, so give
+        such models a fixed ``query_len``: a wave stacks its queries
+        into one array.
+        """
         return self.registry.register(name, z, kind=kind,
-                                      x_budget=x_budget)
+                                      x_budget=x_budget, **plan_kwargs)
 
     def unregister(self, name: str) -> None:
         self.registry.unregister(name)
@@ -180,13 +200,17 @@ class Server:
 
         All queries enter the queue under one lock hold, which is what
         a burst of concurrent clients looks like to the scheduler --
-        the benchmark's coalesced side uses exactly this.
+        the benchmark's coalesced side uses exactly this.  The leading
+        axis is the query axis; what one query *is* depends on the
+        model's plan kind (a GEMV burst is ``[Q, K]``, a group-by burst
+        ``[Q, L, 2]``).
         """
         self._check_open()
         try:
             xs = np.asarray(xs)
-            if xs.ndim != 2:
-                raise ValueError("xs must be [Q, K]")
+            if xs.ndim < 2:
+                raise ValueError("xs must batch queries along its "
+                                 "leading axis")
             # One registry lookup (one lock hold, one LRU touch) for
             # the whole burst; per-row validation is plan-local.
             plan = self.registry.get(model)
@@ -281,7 +305,10 @@ class Server:
                 measured_ops=after.measured_ops - before.measured_ops,
                 broadcasts=after.broadcasts - before.broadcasts,
                 n_banks=plan.wave_banks,
-                nominal_ops=2.0 * xs.shape[0] * plan.k * plan.n,
+                # Every plan kind prices its own nominal unit (GEMV:
+                # dense multiply-adds; analytics: one op per record),
+                # so non-GEMV telemetry never assumes matrix shapes.
+                nominal_ops=plan.nominal_query_ops(xs),
                 evictions=self.registry.stats.evictions - ev_before,
                 trace_compiles=(after.trace_compiles
                                 - before.trace_compiles),

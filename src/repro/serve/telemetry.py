@@ -10,6 +10,13 @@ through :func:`repro.dram.timing.time_for_aaps_ns` for latency and
 the report -- a query that triggered retries or carry flushes costs
 more, and the report says so.
 
+The report is *plan-kind agnostic*: nothing here assumes GEMV shapes.
+Each plan prices its own nominal unit through ``nominal_query_ops``
+(GEMV waves: dense multiply-adds; analytics histogram/group-by waves:
+one masked increment per record), and every other field is a delta of
+the plan's monotonic :class:`~repro.device.PlanStats` counters around
+the wave -- which the analytics plans thread identically.
+
 >>> r = ExecutionReport.from_measured("m", batch_size=4, measured_ops=800,
 ...                                   broadcasts=40, n_banks=8)
 >>> r.coalesced, r.measured_ops

@@ -326,6 +326,27 @@ class TestKindInference:
         # the range error instead of a misleading binary message.
         assert infer_kind(np.array([[7]])) == ("ternary", False)
 
+    def test_infer_kind_unsigned_declares_intent(self):
+        # unsigned=True asserts the matrix is count-like {0,1} by
+        # construction (e.g. histogram bucket masks), so the missing -1
+        # is not evidence of ambiguity.
+        assert infer_kind(np.array([[0, 1]]), unsigned=True) == \
+            ("binary", False)
+        assert infer_kind(np.zeros((2, 2)), unsigned=True) == \
+            ("binary", False)
+        # The flag only suppresses the warning -- ternary inference is
+        # unchanged when a -1 is actually present.
+        assert infer_kind(np.array([[1, -1]]), unsigned=True) == \
+            ("ternary", False)
+
+    def test_plan_gemv_unsigned_silences_warning(self, rng):
+        z = rng.integers(0, 2, (4, 6)).astype(np.uint8)
+        with Device() as dev:
+            with warnings.catch_warnings():
+                warnings.simplefilter("error", AmbiguousKindWarning)
+                assert dev.plan_gemv(z, unsigned=True).kind == "binary"
+                assert dev.plan_gemm(z, unsigned=True).kind == "binary"
+
 
 class TestLifecycle:
     def test_device_close_closes_plans(self, rng):

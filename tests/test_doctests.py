@@ -10,6 +10,7 @@ import doctest
 
 import pytest
 
+import repro.apps.analytics
 import repro.core.kary
 import repro.device
 import repro.dram.wordline
@@ -34,7 +35,7 @@ import repro.util
     repro.kernels.gemv, repro.kernels.gemm,
     repro.kernels.lowering, repro.device, repro.perf.metrics,
     repro.reliability.campaign, repro.serve.pool, repro.serve.registry, repro.serve.server,
-    repro.serve.telemetry])
+    repro.serve.telemetry, repro.apps.analytics])
 def test_doctests(module):
     result = doctest.testmod(module)
     # A module with examples must run them all cleanly.

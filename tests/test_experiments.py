@@ -12,9 +12,9 @@ from repro.experiments import experiment_names, run_experiment
 class TestRegistry:
     def test_all_experiments_registered(self):
         names = experiment_names()
-        for expected in ("fig03", "fig04", "fig07", "fig08", "fig09",
-                         "fig10", "fig14", "fig15", "fig16", "fig17",
-                         "fig18", "fig19", "table1"):
+        for expected in ("analytics", "fig03", "fig04", "fig07", "fig08",
+                         "fig09", "fig10", "fig14", "fig15", "fig16",
+                         "fig17", "fig18", "fig19", "table1"):
             assert expected in names
 
     def test_unknown_name(self):

@@ -402,7 +402,7 @@ class TestServer:
                 srv.submit("ghost", np.arange(4))
             with pytest.raises(ValueError, match="length-4"):
                 srv.submit("m", np.arange(7))
-            with pytest.raises(ValueError, match=r"\[Q, K\]"):
+            with pytest.raises(ValueError, match="leading axis"):
                 srv.submit_many("m", np.arange(4))
             # Domain errors too: a signed query against a binary plan
             # is rejected here, never inside a coalesced wave where it
