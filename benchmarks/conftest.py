@@ -35,40 +35,49 @@ def record_result():
     return _record
 
 
+def write_bench_document(name, title, rows, notes=(), seconds=None):
+    """THE single writer of ``BENCH_<name>.json`` records.
+
+    Builds the document once in memory (runner ``--json`` shape:
+    ``{"experiments": [{experiment_id, title, rows, notes, name,
+    seconds}]}`` with native-Python row values) and serializes that
+    one record to both locations -- ``benchmarks/results/`` (the
+    archive) and the repo root (what the perf-trajectory collector
+    scans) -- via atomic replace.  Both copies come from the same
+    bytes by construction, so they can never drift; no benchmark
+    should ever write a ``BENCH_*.json`` through any other path.
+    """
+    def _native(value):
+        return value.item() if hasattr(value, "item") else value
+    document = {"experiments": [{
+        "experiment_id": f"BENCH_{name}",
+        "title": title,
+        "rows": [{k: _native(v) for k, v in row.items()}
+                 for row in rows],
+        "notes": list(notes),
+        "name": name,
+        "seconds": (None if seconds is None
+                    else round(float(seconds), 3)),
+    }]}
+    text = json.dumps(document, indent=2) + "\n"
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    for target in (path, REPO_ROOT / f"BENCH_{name}.json"):
+        tmp = target.with_suffix(".json.tmp")
+        tmp.write_text(text)
+        tmp.replace(target)
+    return path
+
+
 @pytest.fixture
 def record_bench_json():
     """Persist a benchmark as ``BENCH_<name>.json`` (runner ``--json`` shape).
 
-    The document mirrors what ``python -m repro.experiments.runner
-    <exp> --json`` emits -- ``{"experiments": [{experiment_id, title,
-    rows, notes, name, seconds}]}`` with native-Python row values -- so
-    the CI smoke jobs and any tooling that already consumes runner
-    output can track benchmark trajectories the same way.  Each
-    document lands in ``benchmarks/results/`` *and* is mirrored to a
-    root-level ``BENCH_<name>.json`` -- the repo-root perf-trajectory
-    collector only scans the root, so results-dir-only records would
-    leave the trajectory empty.
+    Thin fixture wrapper over :func:`write_bench_document`, the single
+    writer that mirrors one in-memory record to ``benchmarks/results/``
+    and the repo root.
     """
-    def _record(name, title, rows, notes=(), seconds=None):
-        def _native(value):
-            return value.item() if hasattr(value, "item") else value
-        document = {"experiments": [{
-            "experiment_id": f"BENCH_{name}",
-            "title": title,
-            "rows": [{k: _native(v) for k, v in row.items()}
-                     for row in rows],
-            "notes": list(notes),
-            "name": name,
-            "seconds": (None if seconds is None
-                        else round(float(seconds), 3)),
-        }]}
-        text = json.dumps(document, indent=2) + "\n"
-        RESULTS_DIR.mkdir(exist_ok=True)
-        path = RESULTS_DIR / f"BENCH_{name}.json"
-        path.write_text(text)
-        (REPO_ROOT / f"BENCH_{name}.json").write_text(text)
-        return path
-    return _record
+    return write_bench_document
 
 
 def run_once(benchmark, fn):

@@ -1,0 +1,151 @@
+"""Fleet throughput harness: sharded workers vs one in-process server.
+
+Open-loop, skewed-popularity serving benchmark: a fixed pre-generated
+query schedule over several resident ternary models (popularity ~
+1/rank, so a hot tenant dominates) is submitted as fast as the front
+door admits it -- no client-side pacing -- against (a) the
+single-process :class:`~repro.serve.Server` baseline and (b) a
+:class:`~repro.fleet.Fleet` at 2 and 4 shards.  Every configuration
+records wall-clock throughput plus client-observed p50/p99/mean
+latency (aggregated through the same
+:class:`~repro.serve.telemetry.LatencySummary` code path the runtime
+telemetry uses) into ``BENCH_fleet.json`` via the single-writer
+``record_bench_json``.
+
+Bit-exactness of every configuration against ``xs @ z`` is asserted
+unconditionally.  The throughput acceptance gate -- the 4-shard fleet
+beats the single-process baseline -- needs real parallel hardware, so
+it is asserted when the host has >= 2 CPUs and recorded (with a
+``cpu_limited`` note) otherwise: on a single core, worker processes
+can only timeshare and the fleet pays IPC for no parallelism.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.fleet import Fleet
+from repro.serve import Server
+from repro.serve.telemetry import LatencySummary
+
+from conftest import run_once
+
+K, N = 48, 192
+N_MODELS = 6
+QUERIES = 180
+SHARD_COUNTS = (2, 4)
+
+
+def _workload():
+    rng = np.random.default_rng(20260807)
+    zs = {f"m{i}": rng.integers(-1, 2, (K, N)).astype(np.int8)
+          for i in range(N_MODELS)}
+    # Skewed popularity: model rank r draws traffic ~ 1/(r+1).
+    weights = np.array([1.0 / (r + 1) for r in range(N_MODELS)])
+    weights /= weights.sum()
+    schedule = rng.choice(sorted(zs), size=QUERIES, p=weights)
+    xs = rng.integers(-6, 7, (QUERIES, K))
+    return zs, schedule, xs
+
+
+def _drive(submit, schedule, xs):
+    """Open-loop pass: submit everything, then observe completions.
+
+    Returns (wall seconds, client-observed latencies in ns, results).
+    Completion times come from done-callbacks, so the latency of query
+    i never includes the time spent waiting on query j's ``result()``.
+    """
+    done = [0.0] * len(schedule)
+    t0 = time.perf_counter()
+    starts, futures = [], []
+    for i, (model, x) in enumerate(zip(schedule, xs)):
+        starts.append(time.perf_counter())
+        fut = submit(model, x)
+        fut.add_done_callback(
+            lambda f, i=i: done.__setitem__(i, time.perf_counter()))
+        futures.append(fut)
+    results = [f.result() for f in futures]
+    wall = time.perf_counter() - t0
+    lat_ns = [(d - s) * 1e9 for s, d in zip(starts, done)]
+    return wall, lat_ns, results
+
+
+def _row(config, shards, wall, lat_ns):
+    lat = LatencySummary.from_ns(lat_ns)
+    return {
+        "config": config,
+        "shards": shards,
+        "queries": len(lat_ns),
+        "wall_ms": round(wall * 1e3, 2),
+        "qps": round(len(lat_ns) / wall, 1),
+        "p50_ms": round(lat.p50_ns / 1e6, 3),
+        "p99_ms": round(lat.p99_ns / 1e6, 3),
+        "mean_ms": round(lat.mean_ns / 1e6, 3),
+    }
+
+
+def test_fleet_throughput(benchmark, record_bench_json):
+    zs, schedule, xs = _workload()
+
+    def server_pass():
+        with Server(n_bits=2, pool_banks=32) as srv:
+            for name, z in zs.items():
+                srv.register(name, z, kind="ternary")
+            for name in zs:                       # warm planting
+                srv.query(name, np.zeros(K, dtype=np.int64))
+            wall, lat_ns, results = _drive(srv.submit, schedule, xs)
+        return wall, lat_ns, [r.y for r in results]
+
+    def fleet_pass(n_shards):
+        with Fleet(n_shards=n_shards, n_bits=2, pool_banks=32,
+                   max_queue=QUERIES + 1) as fleet:
+            for name, z in zs.items():
+                fleet.register(name, z, kind="ternary")
+            for name in zs:                       # warm planting
+                fleet.query(name, np.zeros(K, dtype=np.int64))
+            wall, lat_ns, results = _drive(fleet.submit, schedule, xs)
+        return wall, lat_ns, [r.y for r in results]
+
+    def measure():
+        out = {"server": server_pass()}
+        for n in SHARD_COUNTS:
+            out[f"fleet-{n}"] = fleet_pass(n)
+        return out
+
+    out = run_once(benchmark, measure)
+
+    # Bit-exactness everywhere, before any throughput claims.
+    for config, (_, _, ys) in out.items():
+        for i, (model, y) in enumerate(zip(schedule, ys)):
+            want = xs[i] @ zs[model].astype(np.int64)
+            assert (y == want).all(), f"{config} diverged at query {i}"
+
+    rows = [_row("server", 1, out["server"][0], out["server"][1])]
+    rows += [_row(f"fleet-{n}", n, out[f"fleet-{n}"][0],
+                  out[f"fleet-{n}"][1]) for n in SHARD_COUNTS]
+
+    cpus = os.cpu_count() or 1
+    notes = [
+        f"open loop, skewed popularity (~1/rank over {N_MODELS} "
+        f"ternary {K}x{N} models), {QUERIES} queries, host cpus={cpus}",
+        "latency is client-observed submit->resolve wall clock, "
+        "aggregated via LatencySummary (the runtime telemetry path)",
+    ]
+    gate = cpus >= 2
+    if not gate:
+        notes.append("cpu_limited: single-core host, 4-shard-beats-"
+                     "server gate recorded but not asserted")
+    record_bench_json("fleet", "Fleet vs single-process serve "
+                      "throughput (open loop, skewed popularity)",
+                      rows, notes=notes)
+
+    qps = {row["config"]: row["qps"] for row in rows}
+    print("\n" + "\n".join(
+        f"  {row['config']:>8}: {row['qps']:8.1f} q/s   "
+        f"p50 {row['p50_ms']:7.3f} ms   p99 {row['p99_ms']:7.3f} ms"
+        for row in rows))
+    if gate:
+        assert qps["fleet-4"] > qps["server"], (
+            f"4-shard fleet ({qps['fleet-4']} q/s) did not beat the "
+            f"single-process server ({qps['server']} q/s)")

@@ -239,6 +239,40 @@ class _StreamPlan:
         self._parked = None
         self._unparks += 1
 
+    def export_image(self):
+        """Park the plan and hand out its counter image for relocation.
+
+        Mirrors :meth:`repro.device.GemvPlan.export_image`: the
+        returned payload (wave geometry + raw counter bit rows) is what
+        a twin plan in another process restores bit-exactly through
+        :meth:`import_image`.  ``None`` when the plan never ran.
+        """
+        self._check_open()
+        self.park()
+        return self._parked
+
+    def import_image(self, parked) -> None:
+        """Adopt a twin plan's exported counter image (see
+        :meth:`repro.device.GemvPlan.import_image`)."""
+        self._check_open()
+        if parked is None:
+            return
+        if self.is_resident or self._parked is not None:
+            raise ValueError("plan already holds state; import_image "
+                             "needs a fresh (or parked-empty) plan")
+        # Adopt the image's digit sizing so the first query never tears
+        # the restored counters down for a smaller rebuild.
+        self.n_digits = max(self.n_digits or 1, parked[2])
+        self._parked = parked
+        self.unpark()
+
+    @property
+    def footprint_banks(self) -> int:
+        """Conservative bank estimate for fleet placement decisions."""
+        if self.leased_banks:
+            return self.leased_banks
+        return max(1, min(self.config.n_banks, 4))
+
     def close(self) -> None:
         """Release the cluster, lease and any parked image (idempotent)."""
         self._close("plan is closed")

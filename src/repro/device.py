@@ -457,6 +457,69 @@ class GemvPlan:
         self._parked = None
         self._unparks += 1
 
+    def export_image(self):
+        """Park the plan and hand out its counter image for relocation.
+
+        The returned payload is the parked counter-image record
+        (per-role raw bit-row images plus their geometry) -- exactly
+        what :meth:`unpark` restores from, and therefore everything a
+        *different* plan instance (built from the same operand spec,
+        possibly in another process) needs to continue this plan's
+        counter state bit-exactly via :meth:`import_image`.  The fleet
+        moves models between shard workers with this pair; the payload
+        contains only numpy arrays and ints, so it pickles and packs
+        into shared memory.  Returns ``None`` when the plan has never
+        held engines (nothing to relocate).
+        """
+        self._check_open()
+        self.park()
+        return self._parked
+
+    def import_image(self, parked) -> None:
+        """Adopt a counter image exported by a twin plan's
+        :meth:`export_image` and rebuild engines from it immediately.
+
+        The plan must hold no resources of its own yet (fresh or
+        parked-empty); geometry mismatches surface as the shape errors
+        ``import_counters`` raises, never as silent corruption.  A
+        ``None`` payload (source plan never ran) is a no-op.
+        """
+        self._check_open()
+        if parked is None:
+            return
+        if self.is_resident or self._parked is not None:
+            raise ValueError("plan already holds state; import_image "
+                             "needs a fresh (or parked-empty) plan")
+        digits = [self.n_digits or 1]
+        if "cluster" in parked:
+            digits.append(parked["cluster"][1])
+        if "engines" in parked:
+            digits.append(parked["engines"][0])
+        if "batch" in parked:
+            digits.append(parked["batch"][2])
+        # Adopt the image's digit sizing so the first query against the
+        # relocated plan never tears the restored counters down for a
+        # smaller rebuild.
+        self.n_digits = max(digits)
+        self._parked = parked
+        self.unpark()
+
+    @property
+    def footprint_banks(self) -> int:
+        """Conservative bank-budget estimate for placement decisions.
+
+        The banks this plan would lease for its single-query role (its
+        actual leases when resident) -- the fleet's placement layer
+        charges this against a shard's accounted budget when assigning
+        models, so the estimate only has to be comparable across
+        plans, not exact.
+        """
+        if self.leased_banks:
+            return self.leased_banks
+        if self.config.resolved_backend == "word":
+            return max(1, min(self.config.n_banks, self.k))
+        return 2 if self.kind == "ternary" else 1
+
     def _ensure(self, n_digits: int) -> None:
         """(Re)build single-query resources for at least ``n_digits``."""
         if self._parked is not None:
@@ -826,6 +889,16 @@ class GemmPlan:
 
     def unpark(self) -> None:
         self._gemv.unpark()
+
+    def export_image(self):
+        return self._gemv.export_image()
+
+    def import_image(self, parked) -> None:
+        self._gemv.import_image(parked)
+
+    @property
+    def footprint_banks(self) -> int:
+        return self._gemv.footprint_banks
 
     def nominal_query_ops(self, xs: np.ndarray) -> float:
         return self._gemv.nominal_query_ops(xs)

@@ -1,0 +1,87 @@
+"""Fleet serving experiment: sharded workers vs the in-process server.
+
+The ROADMAP's serving north star needs more than one process once
+tenant traffic outgrows a single GIL, so this experiment replays one
+shuffled multi-tenant query stream twice -- through the single-process
+:class:`repro.serve.Server` and through a 2-shard
+:class:`repro.fleet.Fleet` -- and reports, per configuration, the
+throughput and client-observed latency percentiles plus a ``parity``
+column asserting the fleet returned bit-identical outputs.  It is the
+registry-runnable face of ``benchmarks/test_fleet_throughput.py``:
+same workload shape, sized for the quick suite.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.experiments.registry import ExperimentResult, register
+
+
+def _stream(quick: bool):
+    rng = np.random.default_rng(42)
+    k, n, queries = (24, 48, 32) if quick else (48, 192, 128)
+    zs = {name: rng.integers(-1, 2, (k, n)).astype(np.int8)
+          for name in ("hot", "warm", "cold")}
+    weights = np.array([0.6, 0.3, 0.1])
+    schedule = rng.choice(sorted(zs), size=queries, p=weights)
+    xs = rng.integers(-6, 7, (queries, k))
+    return zs, schedule, xs
+
+
+def _replay(submit, schedule, xs):
+    t0 = time.perf_counter()
+    futures = [submit(model, x) for model, x in zip(schedule, xs)]
+    ys = [f.result().y for f in futures]
+    wall = time.perf_counter() - t0
+    return wall, ys
+
+
+@register("fleet")
+def run(quick: bool = True) -> ExperimentResult:
+    from repro.fleet import Fleet
+    from repro.serve import Server
+
+    result = ExperimentResult(
+        "Fleet serving", "Sharded multi-process fleet vs single-process "
+        "server on one shuffled multi-tenant stream")
+    zs, schedule, xs = _stream(quick)
+    exact = [x @ zs[m].astype(np.int64) for m, x in zip(schedule, xs)]
+
+    outputs = {}
+    for config, n_shards in (("server", 0), ("fleet-2", 2)):
+        if n_shards:
+            front = Fleet(n_shards=n_shards, n_bits=2, pool_banks=16,
+                          max_queue=len(schedule) + 1)
+        else:
+            front = Server(n_bits=2, pool_banks=16)
+        with front:
+            for name, z in zs.items():
+                front.register(name, z, kind="ternary")
+            wall, ys = _replay(front.submit, schedule, xs)
+            summary = front.telemetry_summary()
+        outputs[config] = ys
+        parity = all((y == e).all() for y, e in zip(ys, exact))
+        result.rows.append({
+            "config": config,
+            "shards": n_shards or 1,
+            "queries": len(schedule),
+            "qps": round(len(schedule) / wall, 1),
+            "waves": summary.waves,
+            "p50_us": round(summary.latency.p50_ns / 1e3, 1),
+            "p99_us": round(summary.latency.p99_ns / 1e3, 1),
+            "parity": parity,
+        })
+
+    agree = all((a == b).all() for a, b in
+                zip(outputs["server"], outputs["fleet-2"]))
+    result.notes.append(
+        f"fleet outputs bit-identical to server: {agree}; latency "
+        "percentiles come from the shared LatencySummary telemetry path")
+    result.notes.append(
+        "open-loop throughput numbers for 2 and 4 shards are tracked "
+        "by benchmarks/test_fleet_throughput.py (BENCH_fleet.json)")
+    assert agree, "fleet diverged from the single-process server"
+    return result

@@ -107,5 +107,5 @@ def _load_all() -> None:
     """Import every experiment module so registrations take effect."""
     from repro.experiments import (analytics, fig03, fig04, fig07,  # noqa
                                    fig08, fig09, fig10, fig14, fig15,
-                                   fig16, fig17, fig18, fig19,
+                                   fig16, fig17, fig18, fig19, fleet,
                                    reliability, table1)

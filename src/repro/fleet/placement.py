@@ -1,0 +1,227 @@
+"""Model-to-shard placement by accounted bank budget.
+
+The front door routes every model's queries to exactly one shard (the
+weight matrix is *stationary* -- its counter engines live in that
+shard's banks), so placement is assignment, not per-query balancing.
+The policy is deliberately simple and fully deterministic:
+
+* a new model lands on the live shard with the most *free* accounted
+  budget (footprint-weighted best-fit), ties broken by shard id;
+* per-model query counters feed :meth:`plan_moves`, which proposes
+  relocations whenever the busiest shard carries more than
+  ``ratio`` times the quietest shard's load -- the fleet executes a
+  move as an ``export_model`` / ``import_model`` round trip (bit-exact
+  park/unpark images, see :meth:`repro.device.GemvPlan.export_image`).
+
+Everything here is host-side bookkeeping over plain ints, so the
+whole policy is unit-testable without a single worker process.
+
+>>> p = Placement([0, 1], {0: 16, 1: 16})
+>>> p.assign("a", footprint=4), p.assign("b", footprint=4)
+(0, 1)
+>>> p.assign("c", footprint=2)      # both equal -> lowest shard id
+0
+>>> p.note_queries("a", 90); p.note_queries("b", 10)
+>>> p.note_queries("c", 10)
+>>> [(m.model, m.src, m.dst) for m in p.plan_moves(ratio=4.0)]
+[('c', 0, 1)]
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["Placement", "Move", "PlacementError"]
+
+
+class PlacementError(RuntimeError):
+    """No live shard can place the model (fleet empty or all dead)."""
+
+
+@dataclass(frozen=True)
+class Move:
+    """One proposed relocation: take ``model`` from ``src`` to ``dst``."""
+
+    model: str
+    src: int
+    dst: int
+    footprint: int
+
+
+class _ModelSlot:
+    __slots__ = ("shard", "footprint", "queries")
+
+    def __init__(self, shard: int, footprint: int):
+        self.shard = shard
+        self.footprint = footprint
+        self.queries = 0
+
+
+class Placement:
+    """Deterministic footprint-weighted model placement.
+
+    Parameters
+    ----------
+    shards:
+        Shard ids, in routing order.
+    budgets:
+        Accounted bank budget per shard (``None`` entries mean
+        unaccounted: such shards report infinite free budget and
+        best-fit degenerates to round-robin by free *slots*).
+    """
+
+    def __init__(self, shards: Sequence[int],
+                 budgets: Optional[Dict[int, Optional[int]]] = None):
+        self._shards: List[int] = list(shards)
+        self._budgets: Dict[int, Optional[int]] = {
+            s: (budgets or {}).get(s) for s in self._shards}
+        self._models: Dict[str, _ModelSlot] = {}
+        self._dead: set = set()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    @property
+    def shards(self) -> List[int]:
+        with self._lock:
+            return [s for s in self._shards if s not in self._dead]
+
+    def mark_dead(self, shard: int) -> List[str]:
+        """Retire a crashed shard; returns the models stranded on it."""
+        with self._lock:
+            self._dead.add(shard)
+            return [m for m, slot in self._models.items()
+                    if slot.shard == shard]
+
+    def used(self, shard: int) -> int:
+        """Accounted banks of the models placed on ``shard``."""
+        with self._lock:
+            return self._used(shard)
+
+    def _used(self, shard: int) -> int:
+        return sum(s.footprint for s in self._models.values()
+                   if s.shard == shard)
+
+    def _free(self, shard: int) -> float:
+        budget = self._budgets.get(shard)
+        if budget is None:
+            return float("inf")
+        return budget - self._used(shard)
+
+    # ------------------------------------------------------------------
+    def assign(self, model: str, footprint: int = 1) -> int:
+        """Place ``model`` on the emptiest live shard and return it."""
+        with self._lock:
+            if model in self._models:
+                raise ValueError(f"model {model!r} is already placed on "
+                                 f"shard {self._models[model].shard}")
+            live = [s for s in self._shards if s not in self._dead]
+            if not live:
+                raise PlacementError("no live shard to place on")
+            # Most free budget wins; unaccounted shards compare by
+            # (negated) used banks so they still spread, ties go to
+            # the lowest shard id for determinism.
+            best = max(live, key=lambda s: (self._free(s),
+                                            -self._used(s), -s))
+            self._models[model] = _ModelSlot(best, max(1, int(footprint)))
+            return best
+
+    def shard_of(self, model: str) -> int:
+        with self._lock:
+            if model not in self._models:
+                raise KeyError(f"model {model!r} is not placed")
+            return self._models[model].shard
+
+    def drop(self, model: str) -> None:
+        with self._lock:
+            self._models.pop(model, None)
+
+    def models_on(self, shard: int) -> List[str]:
+        with self._lock:
+            return [m for m, s in self._models.items()
+                    if s.shard == shard]
+
+    def note_queries(self, model: str, n: int = 1) -> None:
+        """Account ``n`` routed queries against ``model``'s load."""
+        with self._lock:
+            slot = self._models.get(model)
+            if slot is not None:
+                slot.queries += n
+
+    def loads(self) -> Dict[int, int]:
+        """Routed-query load per live shard."""
+        with self._lock:
+            live = [s for s in self._shards if s not in self._dead]
+            out = {s: 0 for s in live}
+            for slot in self._models.values():
+                if slot.shard in out:
+                    out[slot.shard] += slot.queries
+            return out
+
+    # ------------------------------------------------------------------
+    def plan_moves(self, ratio: float = 4.0) -> List[Move]:
+        """Propose relocations that rebalance query load.
+
+        While the busiest live shard's load exceeds ``ratio`` times
+        the quietest's, move the busiest shard's *coldest* model (the
+        one whose departure disturbs the least traffic) to the
+        quietest shard -- provided it fits the destination's free
+        budget and the move actually helps.  Returns the ordered move
+        list; the caller executes them via export/import and then
+        calls :meth:`move` to commit each one.
+        """
+        moves: List[Move] = []
+        with self._lock:
+            live = [s for s in self._shards if s not in self._dead]
+            if len(live) < 2:
+                return moves
+            load = {s: 0 for s in live}
+            placed: Dict[int, List[str]] = {s: [] for s in live}
+            for name, slot in self._models.items():
+                if slot.shard in load:
+                    load[slot.shard] += slot.queries
+                    placed[slot.shard].append(name)
+            free = {s: self._free(s) for s in live}
+            for _ in range(len(self._models)):
+                busy = max(live, key=lambda s: (load[s], -s))
+                quiet = min(live, key=lambda s: (load[s], s))
+                if busy == quiet or load[busy] <= ratio * max(load[quiet],
+                                                             1):
+                    break
+                movable = [m for m in placed[busy]
+                           if self._models[m].footprint <= free[quiet]
+                           and self._models[m].queries > 0]
+                if not movable:
+                    break
+                # Coldest-but-live model first: smallest traffic that
+                # still closes some of the gap.
+                victim = min(movable,
+                             key=lambda m: (self._models[m].queries, m))
+                slot = self._models[victim]
+                if load[busy] - slot.queries < load[quiet] + slot.queries:
+                    break                       # move would overshoot
+                moves.append(Move(model=victim, src=busy, dst=quiet,
+                                  footprint=slot.footprint))
+                placed[busy].remove(victim)
+                placed[quiet].append(victim)
+                load[busy] -= slot.queries
+                load[quiet] += slot.queries
+                free[busy] += slot.footprint
+                free[quiet] -= slot.footprint
+        return moves
+
+    def move(self, model: str, dst: int) -> None:
+        """Commit a relocation after the data actually moved."""
+        with self._lock:
+            if model not in self._models:
+                raise KeyError(f"model {model!r} is not placed")
+            if dst in self._dead or dst not in self._shards:
+                raise PlacementError(f"shard {dst} is not live")
+            self._models[model].shard = dst
+
+    def reset_loads(self) -> None:
+        """Zero the per-model query counters (after a rebalance epoch)."""
+        with self._lock:
+            for slot in self._models.values():
+                slot.queries = 0

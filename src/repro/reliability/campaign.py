@@ -227,6 +227,28 @@ class Campaign:
         return np.random.default_rng(
             np.random.SeedSequence((self.base_seed, point_index, trial)))
 
+    def spec(self) -> dict:
+        """The picklable recipe a fleet shard rebuilds this campaign from.
+
+        Everything a per-trial metric depends on: workload, kind, bit
+        width, backend, the *total* pool budget (plans clamp their bank
+        ask against it), per-trial banks and the seed-tree root.  Wave
+        boundaries and lease concurrency are deliberately absent --
+        they affect scheduling, never metrics -- which is exactly why a
+        fleet-sharded run reproduces the in-process run bit for bit.
+        Custom ``trial`` functions are process-local closures and have
+        no spec; asking for one raises.
+        """
+        if self.trial_fn is not None:
+            raise ValueError("custom-trial campaigns cannot be shipped "
+                             "to fleet workers (the trial function is "
+                             "a process-local closure)")
+        return {"z": self.z, "xs": self.xs, "kind": self.kind,
+                "n_bits": self.n_bits, "backend": self.backend,
+                "pool_banks": self.pool.n_banks,
+                "banks_per_trial": self.banks_per_trial,
+                "base_seed": self.base_seed}
+
     # ------------------------------------------------------------------
     def _engine_trial(self, point: FaultPoint,
                       rng: np.random.Generator, device: Device) -> dict:
@@ -300,8 +322,8 @@ class Campaign:
                            metrics=metrics)
 
     # ------------------------------------------------------------------
-    def run(self, points: Sequence[FaultPoint],
-            n_trials: int = 8) -> CampaignResult:
+    def run(self, points: Sequence[FaultPoint], n_trials: int = 8,
+            fleet=None) -> CampaignResult:
         """Run ``n_trials`` seeded trials of every grid point.
 
         Trials are scheduled in admission waves sized by the pool
@@ -310,23 +332,36 @@ class Campaign:
         and really is returned -- the way the serving registry shares
         it.  Results are deterministic in ``(base_seed, point index,
         trial index)`` regardless of wave boundaries.
+
+        Passing a :class:`~repro.fleet.fleet.Fleet` fans the grid out
+        across its shard workers instead (each rebuilds the campaign
+        from :meth:`spec` and runs its dealt trials); because trial
+        metrics depend only on the seed tree and the spec, the result
+        rows are identical to the in-process run.
         """
         points = list(points)
         if n_trials < 1:
             raise ValueError("n_trials must be positive")
         schedule = [(i, point, t) for i, point in enumerate(points)
                     for t in range(n_trials)]
-        wave = self.wave_size()
         result = CampaignResult()
-        for lo in range(0, len(schedule), wave):
-            wave_devices: List[Device] = []
-            try:
-                for index, point, trial in schedule[lo:lo + wave]:
-                    result.trials.append(self._run_point_trial(
-                        index, point, trial, wave_devices))
-            finally:
-                for device in wave_devices:
-                    device.close()
+        if fleet is not None:
+            for index, point, trial, metrics in fleet.run_campaign(
+                    self.spec(), schedule):
+                result.trials.append(TrialResult(
+                    point=point, point_index=index, trial=trial,
+                    metrics=metrics))
+        else:
+            wave = self.wave_size()
+            for lo in range(0, len(schedule), wave):
+                wave_devices: List[Device] = []
+                try:
+                    for index, point, trial in schedule[lo:lo + wave]:
+                        result.trials.append(self._run_point_trial(
+                            index, point, trial, wave_devices))
+                finally:
+                    for device in wave_devices:
+                        device.close()
         for index, point in enumerate(points):
             result.rows.append(self._summarize(
                 point, [t for t in result.trials
@@ -337,6 +372,11 @@ class Campaign:
                 f"{self.xs.shape[0]} queries/trial against a "
                 f"{self.z.shape[0]}x{self.z.shape[1]} resident Z "
                 f"({self.backend} backend, fused fault replay)")
+            if fleet is not None:
+                result.notes.append(
+                    f"trials fanned out over {fleet.n_shards}-shard "
+                    f"fleet (per-trial seeding; rows bit-identical to "
+                    f"the in-process run)")
         return result
 
     def _summarize(self, point: FaultPoint,

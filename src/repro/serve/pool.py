@@ -27,9 +27,32 @@ budget (6/8 leased, 2 free)
 from __future__ import annotations
 
 import threading
+from dataclasses import dataclass
 from typing import Optional
 
-__all__ = ["BankPool", "BankLease", "PoolExhausted"]
+__all__ = ["BankPool", "BankLease", "PoolExhausted", "PoolSnapshot"]
+
+
+@dataclass(frozen=True)
+class PoolSnapshot:
+    """Picklable point-in-time view of a pool's lease accounting.
+
+    Leases themselves are process-local handles and never cross a
+    process boundary; what *does* cross is this snapshot -- each fleet
+    shard worker reports its pool's occupancy so the front door's
+    placement layer can weigh shards by accounted bank budget without
+    sharing lock state.  ``n_banks`` is ``None`` for unaccounted pools.
+    """
+
+    n_banks: Optional[int]
+    banks_leased: int
+    n_live_leases: int
+
+    @property
+    def banks_free(self) -> Optional[int]:
+        if self.n_banks is None:
+            return None
+        return self.n_banks - self.banks_leased
 
 
 class PoolExhausted(RuntimeError):
@@ -165,6 +188,19 @@ class BankPool:
             self._leased += n_banks
             self._n_leases += 1
         return BankLease(self, n_banks, owner=owner)
+
+    def snapshot(self) -> PoolSnapshot:
+        """One consistent, picklable view of the lease accounting.
+
+        Taken under the pool lock, so ``banks_leased`` and
+        ``n_live_leases`` always agree -- the cross-process lease
+        protocol's reporting half (fleet workers ship this to the
+        placement layer; the granting half stays process-local).
+        """
+        with self._lock:
+            return PoolSnapshot(n_banks=self.n_banks,
+                                banks_leased=self._leased,
+                                n_live_leases=self._n_leases)
 
     def _release(self, lease: BankLease) -> None:
         with self._lock:

@@ -75,6 +75,7 @@ class RegistryStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    relocations: int = 0
 
 
 class _Entry:
@@ -110,6 +111,7 @@ class ModelRegistry:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._relocations = 0
         self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
@@ -213,6 +215,51 @@ class ModelRegistry:
             self._enforce_max_resident(exclude=name)
         return result
 
+    def export_model(self, name: str):
+        """Park ``name``'s plan and return its relocation image.
+
+        The image (see :meth:`repro.device.GemvPlan.export_image`) is
+        the counter state a twin registry -- typically in another
+        fleet shard's worker process -- restores with
+        :meth:`import_model`.  The plan stays registered here but
+        parked; the mover unregisters it once the destination has
+        imported.  Counted as a relocation, not an eviction.
+        """
+        with self._lock:
+            entry = self._touch(name)
+            self._relocations += 1
+        return entry.plan.export_image()
+
+    def import_model(self, name: str, image) -> None:
+        """Restore an exported relocation image into ``name``'s plan.
+
+        The plan must already be registered (from the same operand
+        spec that produced the image) and must not have run yet;
+        geometry mismatches raise rather than corrupt.  Like
+        :meth:`run_with`, bank exhaustion evicts the LRU resident plan
+        and retries -- unparking is all-or-nothing, so a failed
+        attempt leaves the plan parked on the adopted image and the
+        retry is a plain :meth:`~repro.device.GemvPlan.unpark`.
+        """
+        with self._lock:
+            entry = self._touch(name)
+        adopted = False
+        while True:
+            try:
+                if adopted:
+                    entry.plan.unpark()
+                else:
+                    # Image adoption happens before any lease can fail,
+                    # so a PoolExhausted here means "adopted but still
+                    # parked", never "not adopted".
+                    adopted = True
+                    entry.plan.import_image(image)
+                return
+            except PoolExhausted:
+                with self._lock:
+                    if not self._evict_one(exclude=name):
+                        raise
+
     def evict(self, name: Optional[str] = None) -> bool:
         """Park one plan: ``name`` if given, else the LRU resident one."""
         with self._lock:
@@ -228,7 +275,8 @@ class ModelRegistry:
     @property
     def stats(self) -> RegistryStats:
         return RegistryStats(hits=self._hits, misses=self._misses,
-                             evictions=self._evictions)
+                             evictions=self._evictions,
+                             relocations=self._relocations)
 
     @property
     def resident_names(self) -> List[str]:

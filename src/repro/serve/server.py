@@ -53,9 +53,10 @@ from repro.dram.energy import DDR5_ENERGY, EnergyModel
 from repro.dram.timing import DDR5_4400_TIMING, TimingParams
 from repro.serve.pool import BankPool
 from repro.serve.registry import ModelRegistry
-from repro.serve.telemetry import ExecutionReport
+from repro.serve.telemetry import (ExecutionReport, LatencyWindow,
+                                   TelemetrySummary)
 
-__all__ = ["Server", "Response", "ServerStats"]
+__all__ = ["Server", "Response", "ServerStats", "execute_wave"]
 
 #: Queries one wave will coalesce at most (queue beyond this forms the
 #: next wave; run_many() additionally chunks by its own slot budget).
@@ -97,6 +98,55 @@ class _Pending:
         self.model = model
         self.x = x
         self.future: Future = Future()
+
+
+def execute_wave(registry: ModelRegistry, model: str, xs: np.ndarray):
+    """Run one coalesced same-model wave and account its cost deltas.
+
+    Returns ``(ys, deltas)`` where ``deltas`` is exactly the keyword
+    set :meth:`ExecutionReport.from_measured` prices a wave from
+    (measured/broadcast/cache/fault deltas, wave banks, nominal ops,
+    evictions).  This is the single wave-execution code path: the
+    in-process :class:`Server` scheduler calls it directly, and the
+    fleet's shard workers call it inside their own processes and
+    marshal the deltas back for the front door to price -- so the two
+    runtimes can never drift in what a wave's telemetry means.
+
+    The stats baseline is captured on the *same* plan object the
+    registry hands the wave (inside the callback), never a second name
+    lookup -- an unregister/re-register racing the dispatch can
+    otherwise split the two resolutions across different plans and
+    zero out the telemetry.
+    """
+    ev_before = registry.stats.evictions
+    executed: Dict[str, object] = {}
+
+    def wave(plan):
+        executed["plan"] = plan
+        executed.setdefault("before", plan.stats)
+        return plan.run_many(xs)
+
+    ys = registry.run(model, wave)
+    plan = executed["plan"]
+    before = executed["before"]
+    after = plan.stats
+    deltas = dict(
+        measured_ops=after.measured_ops - before.measured_ops,
+        broadcasts=after.broadcasts - before.broadcasts,
+        n_banks=plan.wave_banks,
+        # Every plan kind prices its own nominal unit (GEMV: dense
+        # multiply-adds; analytics: one op per record), so non-GEMV
+        # telemetry never assumes matrix shapes.
+        nominal_ops=plan.nominal_query_ops(xs),
+        evictions=registry.stats.evictions - ev_before,
+        trace_compiles=after.trace_compiles - before.trace_compiles,
+        trace_replays=after.trace_replays - before.trace_replays,
+        injected_faults=after.injected_faults - before.injected_faults,
+        megatrace_compiles=(after.megatrace_compiles
+                            - before.megatrace_compiles),
+        megatrace_replays=(after.megatrace_replays
+                           - before.megatrace_replays))
+    return ys, deltas
 
 
 class Server:
@@ -146,6 +196,7 @@ class Server:
         self._queries = 0
         self._max_wave = 0
         self._rejected = 0
+        self._latency = LatencyWindow()
         self._thread = threading.Thread(target=self._loop, daemon=True,
                                         name="repro-serve-scheduler")
         self._thread.start()
@@ -282,44 +333,10 @@ class Server:
             return
         try:
             xs = np.stack([p.x for p in live])
-            ev_before = self.registry.stats.evictions
-            # The stats baseline is captured on the *same* plan object
-            # the registry hands the wave (inside fn), never a second
-            # name lookup -- an unregister/re-register racing the
-            # dispatch can otherwise split the two resolutions across
-            # different plans and zero out the telemetry.
-            executed: Dict[str, object] = {}
-
-            def wave(plan):
-                executed["plan"] = plan
-                executed.setdefault("before", plan.stats)
-                return plan.run_many(xs)
-
-            ys = self.registry.run(model, wave)
-            plan = executed["plan"]
-            before = executed["before"]
-            after = plan.stats
+            ys, deltas = execute_wave(self.registry, model, xs)
             report = ExecutionReport.from_measured(
-                model=model,
-                batch_size=len(live),
-                measured_ops=after.measured_ops - before.measured_ops,
-                broadcasts=after.broadcasts - before.broadcasts,
-                n_banks=plan.wave_banks,
-                # Every plan kind prices its own nominal unit (GEMV:
-                # dense multiply-adds; analytics: one op per record),
-                # so non-GEMV telemetry never assumes matrix shapes.
-                nominal_ops=plan.nominal_query_ops(xs),
-                evictions=self.registry.stats.evictions - ev_before,
-                trace_compiles=(after.trace_compiles
-                                - before.trace_compiles),
-                trace_replays=after.trace_replays - before.trace_replays,
-                injected_faults=(after.injected_faults
-                                 - before.injected_faults),
-                megatrace_compiles=(after.megatrace_compiles
-                                    - before.megatrace_compiles),
-                megatrace_replays=(after.megatrace_replays
-                                   - before.megatrace_replays),
-                timing=self.timing, energy=self.energy)
+                model=model, batch_size=len(live),
+                timing=self.timing, energy=self.energy, **deltas)
         except BaseException as exc:          # noqa: BLE001 - to futures
             for pending in live:
                 pending.future.set_exception(exc)
@@ -327,6 +344,7 @@ class Server:
         self._waves += 1
         self._queries += len(live)
         self._max_wave = max(self._max_wave, len(live))
+        self._latency.observe(report.latency_ns, len(live))
         for pending, y in zip(live, ys):
             pending.future.set_result(Response(y=y, report=report))
 
@@ -338,6 +356,20 @@ class Server:
         return ServerStats(waves=self._waves, queries=self._queries,
                            max_wave=self._max_wave,
                            rejected=self._rejected)
+
+    def telemetry_summary(self) -> TelemetrySummary:
+        """Scheduler counters plus p50/p99/mean latency percentiles.
+
+        The latency summary folds every served query's modeled
+        ``latency_ns`` (the wave makespan priced from measured ops)
+        through :meth:`~repro.serve.telemetry.LatencySummary.from_ns`
+        -- the same aggregation the multi-process fleet uses, so
+        fleet-vs-server comparisons read one code path.
+        """
+        return TelemetrySummary(queries=self._queries, waves=self._waves,
+                                max_wave=self._max_wave,
+                                rejected=self._rejected,
+                                latency=self._latency.summary())
 
     def _check_open(self) -> None:
         if self._closed:

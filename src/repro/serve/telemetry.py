@@ -27,14 +27,102 @@ True
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
+
+import numpy as np
 
 from repro.dram.energy import DDR5_ENERGY, EnergyModel
 from repro.dram.timing import DDR5_4400_TIMING, TimingParams
 from repro.perf.metrics import CostReport, measured_cost
 
-__all__ = ["ExecutionReport"]
+__all__ = ["ExecutionReport", "LatencySummary", "LatencyWindow",
+           "TelemetrySummary"]
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Percentile summary of a set of per-query latencies.
+
+    The *one* aggregation code path every front door uses: the
+    single-process :class:`~repro.serve.server.Server` and the
+    multi-process :class:`repro.fleet.Fleet` both fold their per-query
+    ``ExecutionReport.latency_ns`` values through :meth:`from_ns`, and
+    the throughput benchmarks summarize wall-clock latencies with the
+    same method -- so a fleet-vs-server comparison never mixes two
+    percentile definitions.
+
+    >>> s = LatencySummary.from_ns([100.0] * 99 + [1000.0])
+    >>> s.count, s.p50_ns, s.max_ns
+    (100, 100.0, 1000.0)
+    >>> s.p99_ns > s.p50_ns
+    True
+    >>> LatencySummary.from_ns([]).count
+    0
+    """
+
+    count: int
+    mean_ns: float
+    p50_ns: float
+    p99_ns: float
+    max_ns: float
+
+    @classmethod
+    def from_ns(cls, values: Sequence[float]) -> "LatencySummary":
+        """Summarize latencies (ns): mean, p50, p99, max."""
+        a = np.asarray(list(values), dtype=float)
+        if a.size == 0:
+            return cls(0, 0.0, 0.0, 0.0, 0.0)
+        return cls(count=int(a.size), mean_ns=float(a.mean()),
+                   p50_ns=float(np.percentile(a, 50)),
+                   p99_ns=float(np.percentile(a, 99)),
+                   max_ns=float(a.max()))
+
+
+class LatencyWindow:
+    """Bounded reservoir of the most recent per-query latencies.
+
+    A serving front door observes one latency per query; under heavy
+    traffic an unbounded list would grow forever, so the window keeps
+    the last ``maxlen`` observations and the summary covers exactly
+    that sliding window.  Appends are GIL-atomic, so the scheduler
+    thread (or asyncio dispatcher) records without locking.
+    """
+
+    def __init__(self, maxlen: int = 1 << 16):
+        if maxlen < 1:
+            raise ValueError("maxlen must be positive")
+        self._values: deque = deque(maxlen=maxlen)
+
+    def observe(self, latency_ns: float, n: int = 1) -> None:
+        """Record ``n`` queries that each saw ``latency_ns``."""
+        self._values.extend([float(latency_ns)] * int(n))
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def summary(self) -> LatencySummary:
+        return LatencySummary.from_ns(list(self._values))
+
+
+@dataclass(frozen=True)
+class TelemetrySummary:
+    """Front-door roll-up: scheduler counters + latency percentiles.
+
+    Both :meth:`repro.serve.Server.telemetry_summary` and
+    :meth:`repro.fleet.Fleet.telemetry_summary` return this shape, so
+    fleet-vs-server comparisons read one structure.  ``latency`` is the
+    window summary of per-query *modeled* latencies (each query's
+    :attr:`ExecutionReport.latency_ns` -- the makespan of the wave it
+    rode in, priced from measured ops).
+    """
+
+    queries: int
+    waves: int
+    max_wave: int
+    rejected: int
+    latency: LatencySummary
 
 
 @dataclass(frozen=True)

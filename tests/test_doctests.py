@@ -15,6 +15,9 @@ import repro.core.kary
 import repro.device
 import repro.dram.wordline
 import repro.engine.cluster
+import repro.fleet.fleet
+import repro.fleet.placement
+import repro.fleet.shm
 import repro.isa.trace
 import repro.kernels.bitslice
 import repro.kernels.gemm
@@ -34,6 +37,7 @@ import repro.util
     repro.dram.wordline, repro.engine.cluster, repro.isa.trace,
     repro.kernels.gemv, repro.kernels.gemm,
     repro.kernels.lowering, repro.device, repro.perf.metrics,
+    repro.fleet.shm, repro.fleet.placement, repro.fleet.fleet,
     repro.reliability.campaign, repro.serve.pool, repro.serve.registry, repro.serve.server,
     repro.serve.telemetry, repro.apps.analytics])
 def test_doctests(module):

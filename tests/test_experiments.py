@@ -14,7 +14,7 @@ class TestRegistry:
         names = experiment_names()
         for expected in ("analytics", "fig03", "fig04", "fig07", "fig08",
                          "fig09", "fig10", "fig14", "fig15", "fig16",
-                         "fig17", "fig18", "fig19", "table1"):
+                         "fig17", "fig18", "fig19", "fleet", "table1"):
             assert expected in names
 
     def test_unknown_name(self):
@@ -125,6 +125,15 @@ class TestFigureInvariants:
         dna_rows = [r for r in res.rows
                     if r["source"] == "DNA token repetition"]
         assert dna_rows and dna_rows[0]["value"] <= 2
+
+    def test_fleet_parity(self):
+        res = run_experiment("fleet", quick=True)
+        configs = {r["config"]: r for r in res.rows}
+        assert set(configs) == {"server", "fleet-2"}
+        assert all(r["parity"] for r in res.rows)
+        assert configs["fleet-2"]["shards"] == 2
+        for row in res.rows:
+            assert row["p50_us"] <= row["p99_us"]
 
 
 @pytest.mark.slow

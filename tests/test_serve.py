@@ -287,6 +287,37 @@ class TestRegistry:
         assert reg.resident_names == ["b"]         # cap, not bank pressure
         dev.close()
 
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_import_model_evicts_under_pressure_bit_exact(self, backend,
+                                                          rng):
+        """Relocating onto a full twin registry parks its LRU resident
+        plan instead of failing, and the restored counters stay exact."""
+        budget = 4 if backend == "fast" else 2
+        src_dev, src = self._registry(budget, backend=backend)
+        dst_dev, dst = self._registry(budget, backend=backend)
+        za = rng.integers(-1, 2, (6, 9)).astype(np.int8)
+        zb = rng.integers(-1, 2, (6, 9)).astype(np.int8)
+        src.register("a", za, kind="ternary")
+        xa = rng.integers(-5, 6, 6)
+        assert (src.run("a", lambda p: p(xa))
+                == golden_ternary_gemv(xa, za)).all()
+        image = src.export_model("a")
+
+        dst.register("b", zb, kind="ternary")
+        xb = rng.integers(-5, 6, 6)
+        dst.run("b", lambda p: p(xb))              # b now fills the pool
+        dst.register("a", za, kind="ternary")
+        dst.import_model("a", image)               # must evict b, not raise
+        assert dst.stats.evictions >= 1
+        assert dst.get("b").is_parked
+        x2 = rng.integers(-5, 6, 6)
+        y2 = dst.run("a", lambda p: p(x2))
+        assert (y2 == golden_ternary_gemv(x2, za)).all()
+        y3 = dst.run("b", lambda p: p(x2))         # b unparks fine too
+        assert (y3 == golden_ternary_gemv(x2, zb)).all()
+        src_dev.close()
+        dst_dev.close()
+
     def test_registry_close_is_idempotent(self, rng):
         dev, reg = self._registry(16)
         reg.register("m", rng.integers(0, 2, (3, 4)).astype(np.uint8),
@@ -324,6 +355,36 @@ class TestServer:
             assert rep.dynamic_energy_j == pytest.approx(
                 DDR5_ENERGY.dynamic_energy_j(rep.measured_ops))
             assert 0 < rep.dynamic_energy_j < rep.energy_j
+
+    def test_telemetry_summary_percentiles(self, rng):
+        """The server's summary folds every served query's modeled
+        latency through LatencySummary -- the same aggregation path
+        the fleet uses for fleet-vs-server comparisons."""
+        from repro.serve.telemetry import LatencySummary
+        z = np.eye(3, dtype=np.uint8)
+        with Server(pool_banks=8) as srv:
+            srv.register("m", z, kind="binary")
+            latencies = []
+            for _ in range(6):
+                resp = srv.query("m", rng.integers(0, 5, 3))
+                latencies.append(resp.report.latency_ns)
+            summary = srv.telemetry_summary()
+        assert summary.queries == 6 and summary.waves == 6
+        assert summary.latency.count == 6
+        # identical to aggregating the observed reports directly
+        want = LatencySummary.from_ns(latencies)
+        assert summary.latency == want
+        assert summary.latency.p50_ns <= summary.latency.p99_ns \
+            <= summary.latency.max_ns
+        assert summary.latency.mean_ns == pytest.approx(
+            float(np.mean(latencies)))
+
+    def test_telemetry_summary_empty_is_zero(self):
+        with Server(pool_banks=4) as srv:
+            summary = srv.telemetry_summary()
+        assert summary.queries == 0
+        assert summary.latency.count == 0
+        assert summary.latency.p99_ns == 0.0
 
     def test_protection_overhead_shows_up_in_telemetry(self, rng):
         """fr_checks inflate the executed stream; the report notices."""
