@@ -1,0 +1,140 @@
+"""Dedup tenancy harness: content-addressed row-image sharing.
+
+Measures the two headline numbers of the row-image store
+(:mod:`repro.serve.rowstore`):
+
+* **Tenancy multiplier** -- how many same-base tenants fit one
+  accounted bank budget that holds exactly one privately planted
+  model.  Private planting of a second tenant must raise
+  :class:`~repro.serve.pool.PoolExhausted`; through the store, every
+  tenant attaches to the first tenant's engine body for free, so the
+  multiplier equals the tenant count (asserted, and every tenant's
+  answers are asserted bit-exact against numpy).
+* **Registration latency** -- wall-clock cost of registering a model
+  whose row image is already planted (a dedup hit: digest + attach)
+  vs. the first tenant (full mask derivation + planting), as a
+  speedup ratio.
+
+Both land in ``BENCH_dedup.json`` (repo root + ``benchmarks/results/``
+via the single-writer ``write_bench_document``) for the non-gating
+dedup-smoke CI job and the perf-trajectory collector.
+"""
+
+import time
+
+import numpy as np
+
+from repro.device import Device
+from repro.serve import BankPool, PoolExhausted
+from repro.serve.registry import ModelRegistry
+
+from conftest import run_once, write_bench_document
+
+K, N = 48, 192
+TENANTS = 8
+REG_REPEATS = 5
+
+
+def _experiment():
+    rng = np.random.default_rng(20260807)
+    z = rng.integers(-1, 2, (K, N)).astype(np.int8)
+    xs = rng.integers(-6, 7, (TENANTS, K))
+
+    # Budget sized to exactly one resident plan's single-query banks.
+    probe_pool = BankPool(1 << 20)
+    with Device(pool=probe_pool, backend="fast") as probe_dev:
+        probe = probe_dev.plan_gemv(z, kind="ternary")
+        probe(xs[0])
+        budget = probe.leased_banks
+    assert budget >= 1
+
+    # Private planting: per-device stores over one shared bounded
+    # pool -- the second tenant cannot build engines.
+    pool = BankPool(budget)
+    devs = [Device(pool=pool, backend="fast") for _ in range(2)]
+    plans = [d.plan_gemv(z, kind="ternary") for d in devs]
+    plans[0](xs[0])
+    try:
+        plans[1](xs[1])
+        private_fits_two = True
+    except PoolExhausted:
+        private_fits_two = False
+    for d in devs:
+        d.close()
+    assert not private_fits_two, (
+        "budget sized for one plan unexpectedly fit a second private "
+        "tenant; the tenancy multiplier below would be meaningless")
+
+    # Shared store: TENANTS tenants through one registry on the same
+    # budget, each answering bit-exactly.
+    pool = BankPool(budget)
+    dev = Device(pool=pool, backend="fast")
+    reg = ModelRegistry(dev)
+    t_first = time.perf_counter()
+    reg.register("tenant0", z, kind="ternary")
+    t_first = time.perf_counter() - t_first
+    for t in range(1, TENANTS):
+        reg.register(f"tenant{t}", z, kind="ternary")
+    for t in range(TENANTS):
+        y = reg.run(f"tenant{t}", lambda p, x=xs[t]: p(x))
+        np.testing.assert_array_equal(y, xs[t] @ z)
+    snap = pool.snapshot()
+    store = dev.store.stats()
+    assert snap.banks_leased <= budget
+    assert store.dedup_hits == TENANTS - 1
+
+    # Dedup-hit registration latency: same-digest registrations into a
+    # warm registry (digest + handle + bookkeeping, no planting).
+    t_hits = []
+    for r in range(REG_REPEATS):
+        t0 = time.perf_counter()
+        reg.register(f"extra{r}", z, kind="ternary")
+        t_hits.append(time.perf_counter() - t0)
+    t_hit = min(t_hits)
+    reg.close()
+
+    return {
+        "budget_banks": budget,
+        "tenants": TENANTS,
+        "tenancy_multiplier": snap.dedup_ratio,
+        "banks_shared": snap.banks_shared,
+        "dedup_hits": store.dedup_hits,
+        "first_registration_ms": t_first * 1e3,
+        "dedup_registration_ms": t_hit * 1e3,
+        "registration_speedup": t_first / max(t_hit, 1e-9),
+    }
+
+
+def test_dedup_tenancy(benchmark):
+    t0 = time.perf_counter()
+    row = run_once(benchmark, _experiment)
+    seconds = time.perf_counter() - t0
+
+    # The acceptance gate: all TENANTS same-base models served out of
+    # a budget the private path exhausts at two.
+    assert row["tenancy_multiplier"] >= TENANTS
+    assert row["dedup_hits"] >= TENANTS - 1
+
+    write_bench_document(
+        "dedup",
+        f"Row-image dedup tenancy: {TENANTS} same-base {K}x{N} ternary "
+        f"tenants in a {row['budget_banks']}-bank budget",
+        [row],
+        notes=(
+            "tenancy_multiplier = effective/actual bank occupancy "
+            "(PoolSnapshot.dedup_ratio) after serving every tenant",
+            "private planting of tenant #2 raises PoolExhausted on "
+            "the same budget (asserted)",
+            "every tenant's answers asserted bit-exact against numpy",
+            "dedup_registration_ms = best-of-%d same-digest "
+            "registration (digest + attach, no planting)" % REG_REPEATS,
+        ),
+        seconds=seconds)
+
+    print("\nDedup tenancy: %d tenants on a %d-bank budget, "
+          "multiplier %.1fx, registration %.2f ms -> %.2f ms "
+          "(%.1fx faster on dedup hits)" % (
+              row["tenants"], row["budget_banks"],
+              row["tenancy_multiplier"], row["first_registration_ms"],
+              row["dedup_registration_ms"],
+              row["registration_speedup"]))

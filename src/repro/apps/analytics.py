@@ -268,10 +268,24 @@ class _StreamPlan:
 
     @property
     def footprint_banks(self) -> int:
-        """Conservative bank estimate for fleet placement decisions."""
+        """Conservative bank estimate for fleet placement decisions.
+
+        Analytics plans plant one private counter cluster (no row-image
+        sharing), so marginal and total footprints coincide.
+        """
         if self.leased_banks:
             return self.leased_banks
         return max(1, min(self.config.n_banks, 4))
+
+    @property
+    def footprint_banks_total(self) -> int:
+        """Gross bank estimate (same as :attr:`footprint_banks`)."""
+        return self.footprint_banks
+
+    @property
+    def row_digest(self):
+        """Analytics plans have no content-addressed row image."""
+        return None
 
     def close(self) -> None:
         """Release the cluster, lease and any parked image (idempotent)."""

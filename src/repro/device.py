@@ -61,7 +61,8 @@ from repro.engine.cluster import BankCluster
 from repro.engine.machine import CountingEngine
 from repro.kernels.lowering import (DEFAULT_BANKS, digits_for_budget,
                                     infer_kind, ternary_row_masks)
-from repro.serve.pool import BankLease, BankPool, PoolExhausted
+from repro.serve.pool import BankPool, PoolExhausted
+from repro.serve.rowstore import RowImageStore, SharedResource
 
 __all__ = ["EngineConfig", "Device", "GemvPlan", "GemmPlan", "PlanStats",
            "AmbiguousKindWarning", "DeviceClosedError", "PlanClosedError"]
@@ -167,6 +168,12 @@ class PlanStats:
     word path a query's entire wave sequence replays as a handful of
     megatraces, so these counters -- not ``trace_replays`` -- carry
     steady-state replay traffic.
+    ``dedup_hits`` counts the times this plan's row-image acquires
+    (planting and copy-on-write swaps) found the content address
+    already planted by another tenant; ``rows_shared`` /
+    ``rows_private`` classify the plan's planted rows by whether its
+    image is currently multi-referenced in the device's
+    :class:`~repro.serve.rowstore.RowImageStore`.
     """
 
     queries: int = 0
@@ -183,6 +190,9 @@ class PlanStats:
     injected_faults: int = 0
     megatrace_compiles: int = 0
     megatrace_replays: int = 0
+    dedup_hits: int = 0
+    rows_shared: int = 0
+    rows_private: int = 0
 
 
 class GemvPlan:
@@ -230,26 +240,34 @@ class GemvPlan:
                 raise ValueError("z must be binary (0/1)")
             z = z.astype(np.uint8)
         self.k, self.n = z.shape
-        # Plant Z once: every query indexes these resident mask images.
+        # Plant Z once, *content-addressed*: the device's row-image
+        # store dedups identical operands, so tenants sharing a base
+        # reference one read-only mask image (and, when resident, the
+        # shared engine bodies planted over it).
         if kind == "ternary":
-            self._masks = ternary_row_masks(z)       # [K, 2, 2N]
+            masks = ternary_row_masks(z)             # [K, 2, 2N]
             self._width = 2 * self.n
         else:
-            self._masks = z.copy()                   # [K, N]
+            masks = z.copy()                         # [K, N]
             self._width = self.n
+        self._image = device.store.acquire(kind, masks, self._width,
+                                           n_bits=self.config.n_bits)
+        self._dedup_hits = 1 if self._image.dedup_hit else 0
+        self._masks = self._image.masks
         # Flat view for the batched path: ternary row i's orientations
         # live at 2i (positive input) and 2i+1 (negative input).
-        self._flat_masks = self._masks.reshape(-1, self._width)
-        self._planted_nonzero = self._flat_masks.any(axis=1)
+        self._flat_masks = self._image.flat_masks
+        self._planted_nonzero = self._image.planted_nonzero
         self._resident_rows = self._flat_masks.shape[0]
         self.x_budget = None if x_budget is None else int(x_budget)
         self.n_digits = (None if x_budget is None
                          else digits_for_budget(self.config.n_bits,
                                                 self.x_budget))
-        self._cluster: Optional[BankCluster] = None
-        self._batch: Optional[tuple] = None      # (slots, banks, cluster)
-        self._engines: List[CountingEngine] = []
-        self._leases: Dict[str, BankLease] = {}
+        # Role -> attached shared resource ("single" answers plan(x),
+        # "batch" carries run_many() chunks).  The resources -- engine
+        # bodies plus their bank lease -- live on the row image's
+        # store entry and are multiplexed across same-image tenants.
+        self._res: Dict[str, SharedResource] = {}
         self._parked: Optional[dict] = None
         self._closed = False
         self._close_reason = "plan is closed"
@@ -267,78 +285,155 @@ class GemvPlan:
         # cluster, and vice versa.
 
     # ------------------------------------------------------------------
-    # resource management
+    # resource management (store-routed: see repro.serve.rowstore)
     # ------------------------------------------------------------------
+    @property
+    def _cluster(self) -> Optional[BankCluster]:
+        """Live single-query cluster (view into the shared resource)."""
+        res = self._res.get("single")
+        return res.cluster if res is not None else None
+
+    @property
+    def _engines(self) -> List[CountingEngine]:
+        """Live single-query bit engines (view into the resource)."""
+        res = self._res.get("single")
+        return res.engines if res is not None else []
+
+    @property
+    def _batch(self) -> Optional[tuple]:
+        """Live batch geometry ``(slots, banks, cluster)`` or None."""
+        res = self._res.get("batch")
+        if res is None:
+            return None
+        slots, banks = res.geometry
+        return (slots, banks, res.cluster)
+
     def _live_engines(self) -> List[CountingEngine]:
-        engines = list(self._engines)
-        if self._cluster is not None:
-            engines.append(self._cluster.engine)
-        if self._batch is not None:
-            engines.append(self._batch[2].engine)
+        engines: List[CountingEngine] = []
+        for res in self._res.values():
+            engines.extend(res._all_engines())
         return engines
 
-    def _retire(self, engines: Sequence[CountingEngine]) -> None:
-        for eng in engines:
-            self._retired += eng.counters
+    def _token(self) -> tuple:
+        """Resource-compatibility key: same-image tenants share an
+        engine body only when every engine-shaping config knob (and
+        the pool the lease charges) matches."""
+        cfg = self.config
+        return (cfg.n_bits, cfg.fr_checks, cfg.resolved_backend,
+                id(cfg.fault_model), id(self._device.pool))
 
-    def _release_lease(self, role: str) -> None:
-        lease = self._leases.pop(role, None)
-        if lease is not None:
-            lease.release()
+    def _build_body(self, role: str, geometry: tuple, n_digits: int):
+        """Construct one role's engine body (no lease taken here)."""
+        cfg = self.config
+        if role == "single" and cfg.resolved_backend != "word":
+            (count,) = geometry
+            engines = [
+                CountingEngine(cfg.n_bits, n_digits, self.n,
+                               fault_model=cfg.fault_model,
+                               fr_checks=cfg.fr_checks, backend="bit")
+                for _ in range(count)]
+            for eng in engines:
+                eng.reset_counters()
+            return None, engines
+        if role == "single":
+            (banks,) = geometry
+            n_banks = banks
+        else:
+            slots, banks = geometry
+            n_banks = slots * banks
+        cluster = BankCluster(
+            cfg.n_bits, n_digits, self._width, n_banks=n_banks,
+            fault_model=cfg.fault_model, fr_checks=cfg.fr_checks)
+        return cluster, None
 
-    def _exchange(self, role: str, n_banks: int) -> None:
-        """Atomically resize ``role``'s lease to ``n_banks``.
+    def _unmount(self, role: str) -> None:
+        """Detach ``role``'s resource (crediting this plan's counter
+        delta into ``_retired``); the last tenant off a resource
+        releases its bank lease."""
+        res = self._res.pop(role, None)
+        if res is not None:
+            res.detach(self)
 
-        Goes through :meth:`BankPool.exchange`, so a re-plan is charged
-        only the *difference* against the budget -- a concurrent tenant
-        can never steal banks the plan already held, and on
-        :class:`~repro.serve.pool.PoolExhausted` the old lease (and the
-        resources it covers) survive untouched.
+    def _lease_with_yield(self, role: str, grab):
+        """Run a lease acquisition, yielding the *other* role's idle
+        resources before giving up.
 
-        Before giving up, the plan yields its *other* role's idle
-        resources (a plan that just ran a batch wave should not starve
-        its own single-query path under a tight budget); only then does
-        the exhaustion propagate for the registry to evict a tenant.
+        A plan that just ran a batch wave should not starve its own
+        single-query path under a tight budget; only when yielding
+        cannot help does the :class:`~repro.serve.pool.PoolExhausted`
+        propagate for the registry to evict a tenant.
         """
-        pool = self._device.pool
         try:
-            self._leases[role] = pool.exchange(self._leases.get(role),
-                                               n_banks, owner=self)
+            return grab()
         except PoolExhausted:
             other = "batch" if role == "single" else "single"
-            if self._leases.get(other) is None:
+            if self._res.get(other) is None:
                 raise
-            if other == "batch":
-                self._drop_batch()
-            else:
-                self._drop_single()
-            self._leases[role] = pool.exchange(self._leases.get(role),
-                                               n_banks, owner=self)
+            self._unmount(other)
+            return grab()
 
-    def _retire_single(self) -> None:
-        self._retire(([self._cluster.engine] if self._cluster else [])
-                     + self._engines)
-        self._cluster = None
-        self._engines = []
+    def _mount(self, role: str, geometry: tuple, n_digits: int,
+               n_banks: int) -> SharedResource:
+        """Attach ``role`` to a shared resource of this plan's row
+        image (free), resize a sole-held one in place (atomic
+        exchange), or lease banks and build a fresh body.
 
-    def _retire_batch(self) -> None:
-        if self._batch is not None:
-            self._retire([self._batch[2].engine])
-        self._batch = None
-
-    def _drop_single(self) -> None:
-        self._retire_single()
-        self._release_lease("single")
-
-    def _drop_batch(self) -> None:
-        self._retire_batch()
-        self._release_lease("batch")
+        Failure safety mirrors the old exchange path: the new
+        resource is secured *before* the old one is detached, so a
+        :class:`~repro.serve.pool.PoolExhausted` leaves the resident
+        resources untouched and the registry can evict-and-retry.
+        """
+        token = self._token()
+        old = self._res.get(role)
+        target = self._image.find_resource(
+            role, token,
+            lambda r: r is not old and r.n_digits >= n_digits
+            and r.geometry[-1] == geometry[-1]
+            and r.geometry[:-1] >= geometry[:-1])
+        if target is not None:
+            # Another tenant already holds a wide-enough body: attach
+            # for free -- this is the tenancy multiplier.
+            target.attach(self)
+            self._unmount(role)
+            self._res[role] = target
+            return target
+        pool = self._device.pool
+        if old is not None and old.is_sole(self):
+            # Sole tenant: resize in place through the atomic
+            # exchange, charged only the bank difference.
+            lease = self._lease_with_yield(
+                role, lambda: pool.exchange(old.lease, n_banks,
+                                            owner=self))
+            old._credit_active()
+            cluster, engines = self._build_body(role, geometry, n_digits)
+            old.lease = lease
+            old.cluster, old.engines = cluster, (engines or [])
+            old.geometry, old.n_digits = geometry, n_digits
+            old._stash.clear()
+            old.active = None
+            old._base = old._counters_now()
+            for eng in old._all_engines():
+                eng.cache_epoch = self._image.generation
+            return old
+        lease = self._lease_with_yield(
+            role, lambda: pool.lease(n_banks, owner=self))
+        try:
+            cluster, engines = self._build_body(role, geometry, n_digits)
+        except BaseException:
+            lease.release()
+            raise
+        res = self._image.new_resource(role, token, geometry, n_digits,
+                                       lease, cluster=cluster,
+                                       engines=engines)
+        res.attach(self)
+        self._unmount(role)
+        self._res[role] = res
+        return res
 
     @property
     def is_resident(self) -> bool:
         """Whether the plan currently holds engines (and bank leases)."""
-        return (self._cluster is not None or self._batch is not None
-                or bool(self._engines))
+        return bool(self._res)
 
     @property
     def is_parked(self) -> bool:
@@ -347,8 +442,13 @@ class GemvPlan:
 
     @property
     def leased_banks(self) -> int:
-        """Banks currently leased from the device's pool."""
-        return sum(lease.n_banks for lease in self._leases.values())
+        """Banks leased from the pool by this plan's resources.
+
+        A resource shared with other tenants still counts its full
+        lease here (the lease is live and these banks run this plan's
+        queries); see :attr:`footprint_banks` for the marginal view.
+        """
+        return sum(res.n_banks for res in self._res.values())
 
     @property
     def wave_banks(self) -> int:
@@ -380,21 +480,26 @@ class GemvPlan:
         self._check_open()
         if self._parked is not None or not self.is_resident:
             return
-        parked = {}
-        if self._cluster is not None:
-            parked["cluster"] = (self._cluster.n_banks,
-                                 self._cluster.engine.n_digits,
-                                 self._cluster.export_counters())
-        if self._engines:
-            parked["engines"] = (self._engines[0].n_digits,
-                                 [e.export_counters()
-                                  for e in self._engines])
-        if self._batch is not None:
-            slots, banks, cluster = self._batch
-            parked["batch"] = (slots, banks, cluster.engine.n_digits,
-                               cluster.export_counters())
-        self._drop_single()
-        self._drop_batch()
+        # The image_of() snapshots come from the plan's per-tenant
+        # stash (or a live export when this plan is the active tenant),
+        # so parking one of several sharing tenants never disturbs the
+        # others' counter state.
+        parked = {"digest": self._image.digest}
+        single = self._res.get("single")
+        if single is not None and single.cluster is not None:
+            parked["cluster"] = (single.cluster.n_banks,
+                                 single.n_digits,
+                                 single.image_of(self))
+        elif single is not None:
+            parked["engines"] = (single.n_digits,
+                                 single.image_of(self))
+        batch = self._res.get("batch")
+        if batch is not None:
+            slots, banks = batch.geometry
+            parked["batch"] = (slots, banks, batch.n_digits,
+                               batch.image_of(self))
+        self._unmount("single")
+        self._unmount("batch")
         self._parked = parked
         self._parks += 1
 
@@ -413,47 +518,52 @@ class GemvPlan:
         if self._parked is None:
             return
         parked = self._parked
-        cfg = self.config
-        pool = self._device.pool
         needed = []
         if "cluster" in parked:
-            needed.append(("single", parked["cluster"][0]))
-        if "engines" in parked:
-            needed.append(("single", len(parked["engines"][1])))
-        if "batch" in parked:
-            slots, banks = parked["batch"][0], parked["batch"][1]
-            needed.append(("batch", slots * banks))
-        granted = []
-        try:
-            for role, n_banks in needed:
-                self._leases[role] = pool.lease(n_banks, owner=self)
-                granted.append(role)
-        except PoolExhausted:
-            for role in granted:
-                self._release_lease(role)
-            raise
-        if "cluster" in parked:
             n_banks, n_digits, image = parked["cluster"]
-            self._cluster = BankCluster(
-                cfg.n_bits, n_digits, self._width, n_banks=n_banks,
-                fault_model=cfg.fault_model, fr_checks=cfg.fr_checks)
-            self._cluster.import_counters(image)
+            needed.append(("single", (n_banks,), n_digits, n_banks,
+                           image))
         if "engines" in parked:
             n_digits, images = parked["engines"]
-            self._engines = [
-                CountingEngine(cfg.n_bits, n_digits, self.n,
-                               fault_model=cfg.fault_model,
-                               fr_checks=cfg.fr_checks, backend="bit")
-                for _ in images]
-            for eng, image in zip(self._engines, images):
-                eng.import_counters(image)
+            needed.append(("single", (len(images),), n_digits,
+                           len(images), images))
         if "batch" in parked:
             slots, banks, n_digits, image = parked["batch"]
-            cluster = BankCluster(
-                cfg.n_bits, n_digits, self._width, n_banks=slots * banks,
-                fault_model=cfg.fault_model, fr_checks=cfg.fr_checks)
-            cluster.import_counters(image)
-            self._batch = (slots, banks, cluster)
+            needed.append(("batch", (slots, banks), n_digits,
+                           slots * banks, image))
+        token = self._token()
+        mounted = []
+        try:
+            for role, geometry, n_digits, n_banks, image in needed:
+                # A counter-image restore needs the exact body shape --
+                # attach to a matching resident resource (free) or
+                # lease and build one, all-or-nothing across roles.
+                res = self._image.find_resource(
+                    role, token,
+                    lambda r, g=geometry, d=n_digits:
+                    r.geometry == g and r.n_digits == d)
+                if res is not None:
+                    res.attach(self, stash=image)
+                else:
+                    lease = self._device.pool.lease(n_banks, owner=self)
+                    try:
+                        cluster, engines = self._build_body(
+                            role, geometry, n_digits)
+                    except BaseException:
+                        lease.release()
+                        raise
+                    res = self._image.new_resource(
+                        role, token, geometry, n_digits, lease,
+                        cluster=cluster, engines=engines)
+                    res.attach(self, stash=image)
+                self._res[role] = res
+                mounted.append(role)
+        except PoolExhausted:
+            for role in mounted:
+                self._unmount(role)
+            raise
+        for role in mounted:
+            self._res[role].activate(self)
         self._parked = None
         self._unparks += 1
 
@@ -490,6 +600,12 @@ class GemvPlan:
         if self.is_resident or self._parked is not None:
             raise ValueError("plan already holds state; import_image "
                              "needs a fresh (or parked-empty) plan")
+        digest = parked.get("digest")
+        if digest is not None and digest != self._image.digest:
+            raise ValueError(
+                "counter image was exported from a different row image "
+                f"(digest {digest[:12]}... != {self._image.digest[:12]}"
+                "...); rebuild the plan from the matching operand")
         digits = [self.n_digits or 1]
         if "cluster" in parked:
             digits.append(parked["cluster"][1])
@@ -504,15 +620,88 @@ class GemvPlan:
         self._parked = parked
         self.unpark()
 
+    def mutate_rows(self, rows, values) -> None:
+        """Replace ``Z[rows]`` in place -- copy-on-write.
+
+        Other tenants of the old row image are never disturbed: this
+        plan parks (snapshotting its own counter image through its
+        per-tenant stash), re-derives only the diverging rows' masks,
+        acquires the *new* content address (which clones the image --
+        or re-merges with a tenant that already planted the mutated
+        matrix) and drops its reference on the old one.  The next
+        query unparks against the new image; because store generations
+        stamp engine ``cache_epoch``, no stale compiled μProgram or
+        megatrace replays against the swapped rows.
+        """
+        self._check_open()
+        rows = np.atleast_1d(np.asarray(rows, dtype=np.int64))
+        if rows.ndim != 1 or rows.size == 0:
+            raise ValueError("rows must be a non-empty 1-D index list")
+        if (rows < 0).any() or (rows >= self.k).any():
+            raise ValueError(f"row indices must lie in [0, {self.k})")
+        values = np.asarray(values)
+        if values.shape != (rows.size, self.n):
+            raise ValueError(f"values must be [{rows.size}, {self.n}]")
+        if self.kind == "ternary":
+            if not np.isin(values, (-1, 0, 1)).all():
+                raise ValueError("z must be ternary (-1/0/1)")
+            sub = ternary_row_masks(values.astype(np.int8))
+        else:
+            if not np.isin(values, (0, 1)).all():
+                raise ValueError("z must be binary (0/1)")
+            sub = values.astype(np.uint8)
+        new_masks = np.array(self._image.masks)   # writable copy
+        new_masks[rows] = sub
+        # Park first: the counter image rides the plan's own stash, so
+        # the swap is invisible to tenants sharing the old image.
+        self.park()
+        old = self._image
+        self._image = self._device.store.acquire(
+            self.kind, new_masks, self._width,
+            n_bits=self.config.n_bits, cow=True)
+        old.release()
+        if self._image.dedup_hit:
+            self._dedup_hits += 1
+        self._masks = self._image.masks
+        self._flat_masks = self._image.flat_masks
+        self._planted_nonzero = self._image.planted_nonzero
+        if self._parked is not None:
+            self._parked["digest"] = self._image.digest
+        self._replans += 1
+
+    @property
+    def row_digest(self) -> Optional[str]:
+        """Content address of this plan's planted row image."""
+        image = self._image
+        return image.digest if image is not None else None
+
     @property
     def footprint_banks(self) -> int:
-        """Conservative bank-budget estimate for placement decisions.
+        """*Marginal* bank cost of this plan for placement decisions.
 
-        The banks this plan would lease for its single-query role (its
-        actual leases when resident) -- the fleet's placement layer
-        charges this against a shard's accounted budget when assigning
-        models, so the estimate only has to be comparable across
-        plans, not exact.
+        Only the banks this plan holds alone count: resources shared
+        with other tenants survive this plan's eviction, so charging
+        them here double-counts the budget (the bug this property
+        fixes).  A non-resident plan whose image still has live bodies
+        costs nothing to keep; only a plan that would have to plant
+        privately reports its build estimate.  See
+        :attr:`footprint_banks_total` for the old gross meaning.
+        """
+        if self._res:
+            return sum(res.n_banks for res in self._res.values()
+                       if res.is_sole(self))
+        if self._image is not None and self._image.entry_has_live_resources():
+            return 0
+        return self.footprint_banks_total
+
+    @property
+    def footprint_banks_total(self) -> int:
+        """Gross bank-budget estimate, ignoring sharing.
+
+        The banks this plan's single-query role occupies (its actual
+        leases when resident) -- what planting the model privately
+        would cost, and the number placement uses to size a shard for
+        the *first* tenant of a row image.
         """
         if self.leased_banks:
             return self.leased_banks
@@ -521,56 +710,48 @@ class GemvPlan:
         return 2 if self.kind == "ternary" else 1
 
     def _ensure(self, n_digits: int) -> None:
-        """(Re)build single-query resources for at least ``n_digits``."""
+        """(Re)build single-query resources for at least ``n_digits``,
+        and make this plan the resource's active counter tenant."""
         if self._parked is not None:
             self.unpark()
+        res = self._res.get("single")
         if self.n_digits is not None and n_digits <= self.n_digits \
-                and (self._cluster is not None or self._engines):
+                and res is not None:
+            res.activate(self)
             return
-        had = self._cluster is not None or bool(self._engines)
-        if had:
+        if res is not None:
             self._replans += 1
         self.n_digits = max(n_digits, self.n_digits or 1)
         cfg = self.config
-        pool = self._device.pool
         if cfg.resolved_backend == "word":
-            banks = pool.clamp(max(1, min(cfg.n_banks, self.k)))
-            self._exchange("single", banks)     # atomic: fails untouched
-            self._retire_single()
-            self._cluster = BankCluster(
-                cfg.n_bits, self.n_digits, self._width, n_banks=banks,
-                fault_model=cfg.fault_model, fr_checks=cfg.fr_checks)
+            banks = self._device.pool.clamp(
+                max(1, min(cfg.n_banks, self.k)))
+            geometry = (banks,)
+            n_banks = banks
         else:
             count = 2 if self.kind == "ternary" else 1
-            self._exchange("single", count)
-            self._retire_single()
-            self._engines = [
-                CountingEngine(cfg.n_bits, self.n_digits, self.n,
-                               fault_model=cfg.fault_model,
-                               fr_checks=cfg.fr_checks, backend="bit")
-                for _ in range(count)]
-            for eng in self._engines:
-                eng.reset_counters()
+            geometry = (count,)
+            n_banks = count
+        self._mount("single", geometry, self.n_digits,
+                    n_banks).activate(self)
 
     def _ensure_batch(self, slots: int, banks: int,
                       n_digits: int) -> BankCluster:
         """(Re)build the batched chunk cluster (word backend only)."""
         if self._parked is not None:
             self.unpark()
-        if self._batch is not None:
-            b_slots, b_banks, cluster = self._batch
+        res = self._res.get("batch")
+        if res is not None:
+            b_slots, b_banks = res.geometry
             if b_slots >= slots and b_banks == banks \
-                    and cluster.engine.n_digits >= n_digits:
-                return cluster
+                    and res.n_digits >= n_digits:
+                res.activate(self)
+                return res.cluster
             self._replans += 1
-        cfg = self.config
-        self._exchange("batch", slots * banks)  # atomic: fails untouched
-        self._retire_batch()
-        cluster = BankCluster(
-            cfg.n_bits, n_digits, self._width, n_banks=slots * banks,
-            fault_model=cfg.fault_model, fr_checks=cfg.fr_checks)
-        self._batch = (slots, banks, cluster)
-        return cluster
+        res = self._mount("batch", (slots, banks), n_digits,
+                          slots * banks)
+        res.activate(self)
+        return res.cluster
 
     def close(self) -> None:
         """Release engines, clusters, bank leases and mask images;
@@ -582,9 +763,12 @@ class GemvPlan:
     def _close(self, reason: str) -> None:
         if self._closed:
             return
-        self._drop_single()
-        self._drop_batch()
+        self._unmount("single")
+        self._unmount("batch")
         self._parked = None
+        if self._image is not None:
+            self._image.release()
+            self._image = None
         self._masks = self._flat_masks = self._planted_nonzero = None
         self._closed = True
         self._close_reason = reason
@@ -821,12 +1005,18 @@ class GemvPlan:
 
     @property
     def stats(self) -> PlanStats:
-        """Snapshot of this plan's cost counters."""
-        live = self._live_engines()
+        """Snapshot of this plan's cost counters.
+
+        Shared resources attribute live counter deltas to their
+        *active* tenant only; everything a plan accrued before a swap,
+        detach or re-plan already sits in its private retired sink, so
+        two tenants multiplexed on one engine body never double-count.
+        """
         ops = self._retired.copy()
-        for eng in live:
-            ops += eng.counters
+        for res in self._res.values():
+            ops += res.delta_for(self)
         resident = self._resident_rows
+        shared = self._image is not None and self._image.shared
         return PlanStats(queries=self._queries,
                          broadcasts=self._broadcasts,
                          replans=self._replans,
@@ -840,7 +1030,10 @@ class GemvPlan:
                          trace_replays=int(ops[4]),
                          injected_faults=int(ops[5]),
                          megatrace_compiles=int(ops[6]),
-                         megatrace_replays=int(ops[7]))
+                         megatrace_replays=int(ops[7]),
+                         dedup_hits=self._dedup_hits,
+                         rows_shared=resident if shared else 0,
+                         rows_private=0 if shared else resident)
 
 
 class GemmPlan:
@@ -851,57 +1044,34 @@ class GemmPlan:
     counter rows recycled between output rows (paper Sec. 5.2.2).
     """
 
+    #: Everything a GemmPlan answers straight from its inner GemvPlan.
+    #: Both plan kinds route residency through the row-image store, so
+    #: the old hand-written forwarder-per-method boilerplate collapses
+    #: into one delegation table (attributes *and* methods resolve the
+    #: same way through ``__getattr__``).
+    _DELEGATED = frozenset({
+        "kind", "config", "k", "n", "x_budget", "n_digits",
+        "stats", "protection_stats",
+        "is_resident", "is_parked", "leased_banks", "wave_banks",
+        "park", "unpark", "export_image", "import_image", "mutate_rows",
+        "footprint_banks", "footprint_banks_total", "row_digest",
+        "nominal_query_ops",
+    })
+
     def __init__(self, device: "Device", z: np.ndarray, kind: str,
                  x_budget: Optional[int] = None):
         self._device = device
         self._gemv = GemvPlan(device, z, kind, x_budget=x_budget)
         self._closed = False
 
-    @property
-    def kind(self) -> str:
-        return self._gemv.kind
-
-    @property
-    def stats(self) -> PlanStats:
-        return self._gemv.stats
-
-    def protection_stats(self):
-        return self._gemv.protection_stats()
-
-    @property
-    def is_resident(self) -> bool:
-        return self._gemv.is_resident
-
-    @property
-    def is_parked(self) -> bool:
-        return self._gemv.is_parked
-
-    @property
-    def leased_banks(self) -> int:
-        return self._gemv.leased_banks
-
-    @property
-    def wave_banks(self) -> int:
-        return self._gemv.wave_banks
-
-    def park(self) -> None:
-        self._gemv.park()
-
-    def unpark(self) -> None:
-        self._gemv.unpark()
-
-    def export_image(self):
-        return self._gemv.export_image()
-
-    def import_image(self, parked) -> None:
-        self._gemv.import_image(parked)
-
-    @property
-    def footprint_banks(self) -> int:
-        return self._gemv.footprint_banks
-
-    def nominal_query_ops(self, xs: np.ndarray) -> float:
-        return self._gemv.nominal_query_ops(xs)
+    def __getattr__(self, name):
+        # Only whitelisted public names delegate; underscored lookups
+        # fall through so a half-constructed plan (e.g. GemvPlan raised
+        # in __init__) can never recurse through ``self._gemv``.
+        if not name.startswith("_") and name in GemmPlan._DELEGATED:
+            return getattr(self._gemv, name)
+        raise AttributeError(f"{type(self).__name__!r} object has no "
+                             f"attribute {name!r}")
 
     def __call__(self, xs: np.ndarray) -> np.ndarray:
         return self._gemv.run_many(xs)
@@ -948,13 +1118,20 @@ class Device:
     """
 
     def __init__(self, config: Optional[EngineConfig] = None,
-                 pool: Optional[BankPool] = None, **overrides):
+                 pool: Optional[BankPool] = None,
+                 store: Optional[RowImageStore] = None, **overrides):
         if config is None:
             config = EngineConfig(**overrides)
         elif overrides:
             config = replace(config, **overrides)
         self.config = config
         self.pool = pool if pool is not None else BankPool()
+        # Row-image dedup scope.  Per-device by default: reliability
+        # campaigns build one device per trial, and a private store
+        # keeps their seeded fault streams exactly as isolated as
+        # before.  The serving registry funnels every tenant through
+        # one device, so tenants dedup against each other there.
+        self.store = store if store is not None else RowImageStore()
         self._plans: Dict[int, object] = {}
         self._next_handle = 0
         self._closed = False

@@ -162,6 +162,11 @@ class CountingEngine:
         # Stitched wave-sequence megaprograms, keyed by the chunk's
         # event signatures (bounded LRU; see run_waves).
         self._mega_cache: "OrderedDict" = OrderedDict()
+        # Cache namespace for compiled μPrograms/megatraces.  The
+        # row-image store stamps the owning image's generation here
+        # when it builds shared engines, so a copy-on-write row swap
+        # can never replay a trace compiled against the old rows.
+        self.cache_epoch = 0
         self.scheduler = scheduler or IARMScheduler(n_bits, n_digits)
         if self.fr_checks:
             # Any XOR-homomorphic code works; Hamming (72,64) by default,
@@ -302,6 +307,7 @@ class CountingEngine:
     # ------------------------------------------------------------------
     def _cached_program(self, key):
         """LRU lookup in the engine μProgram cache (counts a replay)."""
+        key = (self.cache_epoch,) + tuple(key)
         prog = self._prog_cache.get(key)
         if prog is not None:
             self._prog_cache.move_to_end(key)
@@ -310,6 +316,7 @@ class CountingEngine:
 
     def _store_program(self, key, prog):
         """Insert into the bounded μProgram cache (counts a compile)."""
+        key = (self.cache_epoch,) + tuple(key)
         self._prog_cache[key] = prog
         self.prog_compiles += 1
         while len(self._prog_cache) > ENGINE_PROGRAM_CACHE:
@@ -549,7 +556,7 @@ class CountingEngine:
             used += cost
         chunks.append((start, n_waves))
         for lo, hi in chunks:
-            key = (mask_row,) + tuple(sigs[lo:hi])
+            key = (self.cache_epoch, mask_row) + tuple(sigs[lo:hi])
             mega = self._mega_cache.get(key)
             if mega is not None:
                 self._mega_cache.move_to_end(key)

@@ -250,8 +250,15 @@ class Fleet:
         spec_plan = self._spec_registry.register(
             name, z, kind=kind, x_budget=x_budget, **plan_kwargs)
         try:
-            footprint = spec_plan.footprint_banks
-            shard_id = self.placement.assign(name, footprint=footprint)
+            # Placement charges the *gross* footprint for the first
+            # tenant of a row image; the digest lets it recognize
+            # same-image models and charge the image once per shard
+            # (the dedup-aware marginal accounting).
+            footprint = getattr(spec_plan, "footprint_banks_total",
+                                spec_plan.footprint_banks)
+            digest = getattr(spec_plan, "row_digest", None)
+            shard_id = self.placement.assign(name, footprint=footprint,
+                                             digest=digest)
             meta = {"name": name, "kind": kind, "x_budget": x_budget,
                     "plan_kwargs": plan_kwargs}
             arrays = [np.ascontiguousarray(z)] if z is not None else []
@@ -685,13 +692,32 @@ class Fleet:
                               crashed_shards=self._crashed)
 
     def telemetry_summary(self) -> TelemetrySummary:
-        """Same shape (and aggregation code path) as the server's."""
+        """Same shape (and aggregation code path) as the server's.
+
+        The dedup fields sum every live shard's registry/store
+        accounting (polled over the control channel); a crashed or
+        closing shard simply contributes nothing rather than failing
+        the whole summary.
+        """
+        dedup_hits = rows_shared = rows_private = 0
+        try:
+            shard_reports = self.status()
+        except (FleetClosedError, WorkerCrashedError):
+            shard_reports = []
+        for report in shard_reports:
+            reg = report.get("registry") or {}
+            dedup_hits += reg.get("dedup_hits", 0)
+            rows_shared += reg.get("rows_shared", 0)
+            rows_private += reg.get("rows_private", 0)
         with self._lock:
             return TelemetrySummary(queries=self._queries,
                                     waves=self._waves,
                                     max_wave=self._max_wave,
                                     rejected=self._rejected,
-                                    latency=self._latency.summary())
+                                    latency=self._latency.summary(),
+                                    dedup_hits=dedup_hits,
+                                    rows_shared=rows_shared,
+                                    rows_private=rows_private)
 
     def _check_open(self) -> None:
         if self._closed:

@@ -51,12 +51,18 @@ class Move:
 
 
 class _ModelSlot:
-    __slots__ = ("shard", "footprint", "queries")
+    __slots__ = ("shard", "footprint", "queries", "digest")
 
-    def __init__(self, shard: int, footprint: int):
+    def __init__(self, shard: int, footprint: int,
+                 digest: Optional[str] = None):
         self.shard = shard
         self.footprint = footprint
         self.queries = 0
+        # Content address of the model's planted row image (see
+        # repro.serve.rowstore).  Same-digest models co-located on one
+        # shard share engines there, so the budget charges the digest
+        # once -- None (unknown image) keeps the old gross accounting.
+        self.digest = digest
 
 
 class Placement:
@@ -100,8 +106,20 @@ class Placement:
             return self._used(shard)
 
     def _used(self, shard: int) -> int:
-        return sum(s.footprint for s in self._models.values()
-                   if s.shard == shard)
+        # Dedup-aware: same-digest models on one shard share planted
+        # rows and engines, so each digest's footprint is charged once
+        # (its widest tenant).  Digest-less models charge individually.
+        total = 0
+        widest: Dict[str, int] = {}
+        for s in self._models.values():
+            if s.shard != shard:
+                continue
+            if s.digest is None:
+                total += s.footprint
+            else:
+                widest[s.digest] = max(widest.get(s.digest, 0),
+                                       s.footprint)
+        return total + sum(widest.values())
 
     def _free(self, shard: int) -> float:
         budget = self._budgets.get(shard)
@@ -109,9 +127,28 @@ class Placement:
             return float("inf")
         return budget - self._used(shard)
 
+    def _marginal(self, shard: int, footprint: int,
+                  digest: Optional[str]) -> int:
+        """Banks placing this model on ``shard`` actually adds: zero
+        when a same-digest tenant at least as wide is already there."""
+        if digest is None:
+            return footprint
+        held = max((s.footprint for s in self._models.values()
+                    if s.shard == shard and s.digest == digest),
+                   default=0)
+        return max(0, footprint - held)
+
     # ------------------------------------------------------------------
-    def assign(self, model: str, footprint: int = 1) -> int:
-        """Place ``model`` on the emptiest live shard and return it."""
+    def assign(self, model: str, footprint: int = 1,
+               digest: Optional[str] = None) -> int:
+        """Place ``model`` on the emptiest live shard and return it.
+
+        ``digest`` is the model's row-image content address when
+        known: best-fit then compares *post-placement* free budget, so
+        a model whose image already resides on some shard gravitates
+        there (its marginal footprint is zero) instead of planting a
+        duplicate elsewhere.
+        """
         with self._lock:
             if model in self._models:
                 raise ValueError(f"model {model!r} is already placed on "
@@ -119,12 +156,19 @@ class Placement:
             live = [s for s in self._shards if s not in self._dead]
             if not live:
                 raise PlacementError("no live shard to place on")
-            # Most free budget wins; unaccounted shards compare by
-            # (negated) used banks so they still spread, ties go to
-            # the lowest shard id for determinism.
-            best = max(live, key=lambda s: (self._free(s),
-                                            -self._used(s), -s))
-            self._models[model] = _ModelSlot(best, max(1, int(footprint)))
+            footprint = max(1, int(footprint))
+            # Most free budget *after* placement wins, then the
+            # cheaper (already-resident image) shard -- for digest-less
+            # models both terms are constant across shards, so this
+            # reduces to the old most-free ordering; unaccounted shards
+            # compare by (negated) used banks so they still spread,
+            # ties go to the lowest shard id for determinism.
+            best = max(live, key=lambda s: (
+                self._free(s) - self._marginal(s, footprint, digest),
+                -self._marginal(s, footprint, digest),
+                -self._used(s), -s))
+            self._models[model] = _ModelSlot(best, footprint,
+                                             digest=digest)
             return best
 
     def shard_of(self, model: str) -> int:
@@ -183,6 +227,21 @@ class Placement:
                     load[slot.shard] += slot.queries
                     placed[slot.shard].append(name)
             free = {s: self._free(s) for s in live}
+
+            def marginal(m: str, shard: int) -> int:
+                # Banks m adds to (or, symmetrically, reclaims from)
+                # ``shard`` given the *simulated* placement so far: a
+                # same-digest tenant at least as wide absorbs it.
+                slot = self._models[m]
+                if slot.digest is None:
+                    return slot.footprint
+                held = max((self._models[o].footprint
+                            for o in placed[shard]
+                            if o != m
+                            and self._models[o].digest == slot.digest),
+                           default=0)
+                return max(0, slot.footprint - held)
+
             for _ in range(len(self._models)):
                 busy = max(live, key=lambda s: (load[s], -s))
                 quiet = min(live, key=lambda s: (load[s], s))
@@ -190,7 +249,7 @@ class Placement:
                                                              1):
                     break
                 movable = [m for m in placed[busy]
-                           if self._models[m].footprint <= free[quiet]
+                           if marginal(m, quiet) <= free[quiet]
                            and self._models[m].queries > 0]
                 if not movable:
                     break
@@ -201,14 +260,17 @@ class Placement:
                 slot = self._models[victim]
                 if load[busy] - slot.queries < load[quiet] + slot.queries:
                     break                       # move would overshoot
+                cost = marginal(victim, quiet)
                 moves.append(Move(model=victim, src=busy, dst=quiet,
-                                  footprint=slot.footprint))
+                                  footprint=cost))
                 placed[busy].remove(victim)
+                # Leaving busy reclaims only the banks no same-digest
+                # tenant still pins there.
+                free[busy] += marginal(victim, busy)
                 placed[quiet].append(victim)
                 load[busy] -= slot.queries
                 load[quiet] += slot.queries
-                free[busy] += slot.footprint
-                free[quiet] -= slot.footprint
+                free[quiet] -= cost
         return moves
 
     def move(self, model: str, dst: int) -> None:

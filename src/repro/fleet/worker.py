@@ -106,7 +106,11 @@ def _op_export_model(state: _WorkerState, meta: dict,
     # Bit images cross packed 64 lanes/word; the structure itself is
     # tiny and rides the pipe with array markers into the arena.
     structure, out = fshm.extract_arrays(fshm.pack_state(image))
-    return {"structure": structure}, out
+    # The row-image content address rides alongside, so a receiving
+    # shard (or an operator inspecting the move) can tell whether the
+    # destination already holds the rows without unpacking the image.
+    digest = image.get("digest") if isinstance(image, dict) else None
+    return {"structure": structure, "digest": digest}, out
 
 
 def _op_import_model(state: _WorkerState, meta: dict,
@@ -136,10 +140,15 @@ def _op_status(state: _WorkerState, meta: dict,
         "pid": os.getpid(),
         "pool": {"n_banks": snap.n_banks,
                  "banks_leased": snap.banks_leased,
-                 "n_live_leases": snap.n_live_leases},
+                 "n_live_leases": snap.n_live_leases,
+                 "banks_shared": snap.banks_shared,
+                 "dedup_ratio": snap.dedup_ratio},
         "registry": {"hits": stats.hits, "misses": stats.misses,
                      "evictions": stats.evictions,
-                     "relocations": stats.relocations},
+                     "relocations": stats.relocations,
+                     "dedup_hits": stats.dedup_hits,
+                     "rows_shared": stats.rows_shared,
+                     "rows_private": stats.rows_private},
         "models": state.registry.names(),
         "resident": state.registry.resident_names,
         "counters": counters,

@@ -5,6 +5,11 @@ The layer cake, bottom up:
 * :class:`BankPool` (:mod:`repro.serve.pool`) owns the process-wide
   bank/subarray budget; every device is a view over a pool and every
   plan leases the banks its engines occupy.
+* :class:`RowImageStore` (:mod:`repro.serve.rowstore`) content-addresses
+  planted row images: tenants with identical operands share one
+  read-only mask image *and* its live engine bodies (the pool is
+  charged once), with per-tenant counter stashes keeping answers
+  bit-exact and copy-on-write isolating mutations.
 * :class:`ModelRegistry` (:mod:`repro.serve.registry`) is the plan
   cache: one weight-stationary plan per model name, LRU-evicted under
   bank pressure by *parking* (counter image exported via
@@ -25,10 +30,13 @@ acyclic.
 """
 
 from repro.serve.pool import BankLease, BankPool, PoolExhausted
+from repro.serve.rowstore import (RowImageHandle, RowImageStore,
+                                  StoreStats, row_digest)
 
 __all__ = ["BankPool", "BankLease", "PoolExhausted", "ModelRegistry",
            "RegistryStats", "Server", "Response", "ServerStats",
-           "ExecutionReport", "UnsupportedPlanKindError", "PLAN_KINDS"]
+           "ExecutionReport", "UnsupportedPlanKindError", "PLAN_KINDS",
+           "RowImageStore", "RowImageHandle", "StoreStats", "row_digest"]
 
 _LAZY = {
     "ModelRegistry": "repro.serve.registry",

@@ -47,6 +47,13 @@ class PoolSnapshot:
     n_banks: Optional[int]
     banks_leased: int
     n_live_leases: int
+    #: Banks under leases attached by more than one tenant (the
+    #: row-image store's shared engine bodies).
+    banks_shared: int = 0
+    #: Effective-over-actual bank ratio: how many banks the attached
+    #: tenants would occupy if each planted privately, divided by the
+    #: banks actually leased (1.0 when nothing is shared).
+    dedup_ratio: float = 1.0
 
     @property
     def banks_free(self) -> Optional[int]:
@@ -72,13 +79,16 @@ class BankLease:
     lease.  ``release()`` is idempotent.
     """
 
-    __slots__ = ("pool", "n_banks", "owner", "_live")
+    __slots__ = ("pool", "n_banks", "owner", "_live", "n_attached")
 
     def __init__(self, pool: "BankPool", n_banks: int, owner=None):
         self.pool = pool
         self.n_banks = n_banks
         self.owner = owner
         self._live = True
+        # Tenants multiplexed onto this lease's banks (row-image
+        # sharing); the lease itself counts as the first.
+        self.n_attached = 1
 
     @property
     def live(self) -> bool:
@@ -116,6 +126,10 @@ class BankPool:
         self.n_banks = n_banks
         self._leased = 0
         self._n_leases = 0
+        # Banks under multi-attached leases, and the banks the extra
+        # attachments would have cost if planted privately.
+        self._shared = 0
+        self._extra = 0
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -173,6 +187,9 @@ class BankPool:
         if old is not None and old.pool is not self:
             raise ValueError("cannot exchange a lease from another pool")
         with self._lock:
+            if old is not None and old._live and old.n_attached > 1:
+                raise ValueError("cannot exchange a lease other tenants "
+                                 "are attached to; detach them first")
             held = old.n_banks if old is not None and old._live else 0
             if self.n_banks is not None \
                     and self._leased - held + n_banks > self.n_banks:
@@ -189,6 +206,49 @@ class BankPool:
             self._n_leases += 1
         return BankLease(self, n_banks, owner=owner)
 
+    # ------------------------------------------------------------------
+    @property
+    def banks_shared(self) -> int:
+        """Banks under leases attached by more than one tenant."""
+        return self._shared
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Effective-over-actual bank occupancy (1.0 = no sharing)."""
+        if self._leased == 0:
+            return 1.0
+        return (self._leased + self._extra) / self._leased
+
+    def attach(self, lease: BankLease) -> None:
+        """Account one more tenant multiplexed onto ``lease``'s banks.
+
+        Attachments are free against the budget -- that is the whole
+        point of row-image sharing -- but they are *visible*: the
+        snapshot's ``banks_shared`` / ``dedup_ratio`` report how much
+        private planting the sharing displaced.
+        """
+        if lease.pool is not self:
+            raise ValueError("cannot attach a lease from another pool")
+        with self._lock:
+            if not lease._live:
+                raise ValueError("cannot attach a released lease")
+            lease.n_attached += 1
+            self._extra += lease.n_banks
+            if lease.n_attached == 2:
+                self._shared += lease.n_banks
+
+    def detach(self, lease: BankLease) -> None:
+        """Undo one :meth:`attach` (the lease itself stays live)."""
+        if lease.pool is not self:
+            raise ValueError("cannot detach a lease from another pool")
+        with self._lock:
+            if not lease._live or lease.n_attached <= 1:
+                raise ValueError("lease has no extra attachments")
+            lease.n_attached -= 1
+            self._extra -= lease.n_banks
+            if lease.n_attached == 1:
+                self._shared -= lease.n_banks
+
     def snapshot(self) -> PoolSnapshot:
         """One consistent, picklable view of the lease accounting.
 
@@ -198,9 +258,15 @@ class BankPool:
         placement layer; the granting half stays process-local).
         """
         with self._lock:
+            if self._leased:
+                ratio = (self._leased + self._extra) / self._leased
+            else:
+                ratio = 1.0
             return PoolSnapshot(n_banks=self.n_banks,
                                 banks_leased=self._leased,
-                                n_live_leases=self._n_leases)
+                                n_live_leases=self._n_leases,
+                                banks_shared=self._shared,
+                                dedup_ratio=ratio)
 
     def _release(self, lease: BankLease) -> None:
         with self._lock:
@@ -209,6 +275,10 @@ class BankPool:
             lease._live = False
             self._leased -= lease.n_banks
             self._n_leases -= 1
+            if lease.n_attached > 1:
+                self._extra -= (lease.n_attached - 1) * lease.n_banks
+                self._shared -= lease.n_banks
+                lease.n_attached = 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         total = "unbounded" if self.n_banks is None else str(self.n_banks)

@@ -70,12 +70,20 @@ class RegistryStats:
     ``hits`` are runs that found the plan resident, ``misses`` runs
     that had to (re)build engines -- first touch or post-eviction --
     and ``evictions`` counts plans parked to free bank budget.
+    ``dedup_hits`` / ``rows_shared`` / ``rows_private`` mirror the
+    device's :class:`~repro.serve.rowstore.RowImageStore` accounting:
+    how often registrations found their row image already planted, and
+    how the logical planted rows split between multi-referenced and
+    private images.
     """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
     relocations: int = 0
+    dedup_hits: int = 0
+    rows_shared: int = 0
+    rows_private: int = 0
 
 
 class _Entry:
@@ -274,9 +282,13 @@ class ModelRegistry:
 
     @property
     def stats(self) -> RegistryStats:
+        store = self.device.store.stats()
         return RegistryStats(hits=self._hits, misses=self._misses,
                              evictions=self._evictions,
-                             relocations=self._relocations)
+                             relocations=self._relocations,
+                             dedup_hits=store.dedup_hits,
+                             rows_shared=store.rows_shared,
+                             rows_private=store.rows_private)
 
     @property
     def resident_names(self) -> List[str]:
@@ -308,7 +320,13 @@ class ModelRegistry:
                       if e.name != exclude and e.plan.is_resident]
         if not candidates:
             return False
-        victim = min(candidates, key=lambda e: e.last_used)
+        # Refcount-aware LRU: parking a tenant whose every resource is
+        # shared frees zero banks (the survivors keep the lease live),
+        # so prefer victims whose eviction actually returns budget --
+        # the marginal footprint -- breaking ties by recency.
+        victim = min(candidates,
+                     key=lambda e: (e.plan.footprint_banks == 0,
+                                    e.last_used))
         victim.plan.park()
         self._evictions += 1
         return True

@@ -366,10 +366,14 @@ class Server:
         -- the same aggregation the multi-process fleet uses, so
         fleet-vs-server comparisons read one code path.
         """
+        reg = self.registry.stats
         return TelemetrySummary(queries=self._queries, waves=self._waves,
                                 max_wave=self._max_wave,
                                 rejected=self._rejected,
-                                latency=self._latency.summary())
+                                latency=self._latency.summary(),
+                                dedup_hits=reg.dedup_hits,
+                                rows_shared=reg.rows_shared,
+                                rows_private=reg.rows_private)
 
     def _check_open(self) -> None:
         if self._closed:

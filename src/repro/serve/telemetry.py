@@ -123,6 +123,13 @@ class TelemetrySummary:
     max_wave: int
     rejected: int
     latency: LatencySummary
+    #: Row-image dedup accounting (registry/store roll-up; a fleet
+    #: sums these over its live shards): how many registrations found
+    #: their row image already planted, and how the planted rows split
+    #: between shared and private images.
+    dedup_hits: int = 0
+    rows_shared: int = 0
+    rows_private: int = 0
 
 
 @dataclass(frozen=True)
